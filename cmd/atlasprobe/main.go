@@ -1,0 +1,109 @@
+// Command atlasprobe is the live-socket demonstration of the measurement
+// methodology: it starts real UDP DNS servers playing the servers of a
+// letter's anycast sites, probes them with CHAOS hostname.bind queries the
+// way a RIPE Atlas VP does, and prints the catchment map recovered purely
+// from reply parsing — including what happens when a site degrades.
+//
+// Usage:
+//
+//	atlasprobe [-letter K] [-probes N] [-loss P]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/dnsserver"
+	"github.com/rootevent/anycastddos/internal/report"
+	"github.com/rootevent/anycastddos/internal/rrl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atlasprobe: ")
+	letterFlag := flag.String("letter", "K", "root letter to emulate")
+	probes := flag.Int("probes", 40, "probes per site")
+	loss := flag.Float64("loss", 0.6, "loss probability at the stressed site")
+	flag.Parse()
+
+	letter := byte((*letterFlag)[0])
+	sites := []struct {
+		code    string
+		servers int
+		loss    float64
+		delay   time.Duration
+	}{
+		{"AMS", 3, 0, 0},
+		{"LHR", 2, *loss, 150 * time.Millisecond}, // the degraded absorber
+		{"FRA", 2, 0, 0},
+	}
+
+	var addrs []*net.UDPAddr
+	rrlCfg := rrl.DefaultConfig()
+	rrlCfg.ResponsesPerSecond = 1000 // measurement probes must not trip RRL here
+	for _, site := range sites {
+		for srv := 1; srv <= site.servers; srv++ {
+			s, err := dnsserver.Start(dnsserver.Config{
+				Letter: letter, Site: site.code, Server: srv,
+				LossProb: site.loss, Delay: site.delay,
+				RRL:  &rrlCfg,
+				Seed: int64(srv),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer s.Close()
+			addrs = append(addrs, s.Addr())
+			log.Printf("started %s on %s", s.Identity(), s.Addr())
+		}
+	}
+
+	prober := dnsserver.NewProber(1)
+	prober.Timeout = 500 * time.Millisecond
+
+	counts := map[string]int{}
+	rtts := map[string][]float64{}
+	timeouts := 0
+	for i := 0; i < *probes; i++ {
+		for _, a := range addrs {
+			res, err := prober.Probe(a, letter)
+			if err != nil {
+				timeouts++
+				continue
+			}
+			if res.Matched {
+				name := res.Identity.SiteName()
+				counts[name]++
+				rtts[name] = append(rtts[name], float64(res.RTT.Milliseconds()))
+			}
+		}
+	}
+
+	fmt.Printf("\nCatchment map from CHAOS parsing (%d probes/server, %d timeouts):\n\n", *probes, timeouts)
+	rows := [][]string{}
+	for _, site := range sites {
+		name := fmt.Sprintf("%c-%s", letter, site.code)
+		var mean float64
+		for _, r := range rtts[name] {
+			mean += r
+		}
+		if n := len(rtts[name]); n > 0 {
+			mean /= float64(n)
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", counts[name]),
+			fmt.Sprintf("%.0f ms", mean),
+			fmt.Sprintf("%.0f%%", site.loss*100),
+		})
+	}
+	if err := report.WriteTable(os.Stdout, []string{"site", "replies", "mean RTT", "injected loss"}, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe degraded absorber answers fewer probes at higher RTT — the")
+	fmt.Println("signature the paper reads off K-AMS and K-NRT (Figures 6 and 7).")
+}

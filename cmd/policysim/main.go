@@ -1,0 +1,76 @@
+// Command policysim explores the paper's §2.2 anycast-vs-DDoS policy model:
+// for a configurable deployment it sweeps attack strength and reports the
+// happiness (served clients) of absorbing in place versus the optimal
+// combination of withdrawals.
+//
+// Usage:
+//
+//	policysim [-s capacity] [-big multiplier] [-steps N] [-max attack]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/rootevent/anycastddos/internal/core"
+	"github.com/rootevent/anycastddos/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	small := flag.Float64("s", 100, "capacity of the two small sites (q/s)")
+	big := flag.Float64("big", 10, "large-site capacity as a multiple of -s")
+	steps := flag.Int("steps", 20, "number of attack strengths to sweep")
+	max := flag.Float64("max", 20, "largest attack as a multiple of -s (A0 = A1)")
+	flag.Parse()
+
+	if *small <= 0 || *big <= 0 || *steps < 1 || *max <= 0 {
+		log.Fatal("policysim: all parameters must be positive")
+	}
+
+	fmt.Printf("Deployment: s1 = s2 = %.0f, S3 = %.0f; clients c0,c1@s1 c2@s2 c3@S3\n\n", *small, *small**big)
+	rows := make([][]string, 0, *steps)
+	for i := 1; i <= *steps; i++ {
+		a := *small * *max * float64(i) / float64(*steps)
+		sc := &core.Scenario{
+			Capacity: []float64{*small, *small, *small * *big},
+			Groups: []core.Group{
+				{Name: "ISP0(c0,A0)", Clients: 1, AttackQPS: a, Prefs: []int{0, 1, 2}},
+				{Name: "ISP1(c1,A1)", Clients: 1, AttackQPS: a, Prefs: []int{0, 1, 2}},
+				{Name: "c2", Clients: 1, Prefs: []int{1, 2}},
+				{Name: "c3", Clients: 1, Prefs: []int{2}},
+			},
+		}
+		hAbsorb, err := sc.Happiness(sc.DefaultAssignment())
+		if err != nil {
+			log.Fatal(err)
+		}
+		assign, hBest, err := sc.Best()
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := core.ClassifyPaperCase(*small, a, a)
+		move := ""
+		for gi, pos := range assign {
+			if pos != 0 {
+				move += fmt.Sprintf(" %s->s%d", sc.Groups[gi].Name, sc.Groups[gi].Prefs[pos]+1)
+			}
+		}
+		if move == "" {
+			move = " (stay)"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", a),
+			fmt.Sprintf("%d", c.Number),
+			fmt.Sprintf("%d", hAbsorb),
+			fmt.Sprintf("%d", hBest),
+			move,
+		})
+	}
+	if err := report.WriteTable(os.Stdout,
+		[]string{"A0=A1", "case", "H(absorb)", "H(optimal)", "optimal moves"}, rows); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+// Package anycastddos reproduces "Anycast vs. DDoS: Evaluating the
+// November 2015 Root DNS Event" (IMC 2016) as a Go library.
+//
+// The implementation lives under internal/: an AS-level topology and BGP
+// anycast routing simulator (topo, bgpsim), the 13-letter Root DNS
+// deployment model (anycast), the event traffic and queueing models
+// (attack, netsim, rrl), the measurement ecosystem (atlas, rssac, bgpmon,
+// chaos, dnswire, dnsserver), and the orchestration plus per-figure
+// analyses (core, analysis, report).
+//
+// The benchmarks in this package form the reproduction harness: one
+// benchmark per table and figure of the paper's evaluation. Run them with
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full artifact set with
+//
+//	go run ./cmd/rootevent -out out
+package anycastddos

@@ -1,0 +1,102 @@
+// Autodefense evaluates the paper's proposed future work (§2.2, §5):
+// automated anycast defense policies. It builds a routed deployment, runs
+// the same attack under three controllers — always-absorb, threshold
+// withdraw, and an adaptive feedback policy — and compares how much
+// legitimate traffic each serves.
+//
+//	go run ./examples/autodefense
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"github.com/rootevent/anycastddos/internal/bgpsim"
+	"github.com/rootevent/anycastddos/internal/defense"
+	"github.com/rootevent/anycastddos/internal/netsim"
+	"github.com/rootevent/anycastddos/internal/report"
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+func scenario(attackQPS float64) (*defense.Scenario, error) {
+	g, err := topo.Generate(topo.Config{Tier1s: 5, Tier2s: 40, Stubs: 500, Seed: 17})
+	if err != nil {
+		return nil, err
+	}
+	stubs := g.StubASNs()
+	origins := []bgpsim.Origin{
+		{Site: 0, Host: stubs[10]},
+		{Site: 1, Host: stubs[200]},
+		{Site: 2, Host: stubs[400]},
+	}
+	capacity := []float64{100_000, 100_000, 1_000_000}
+	table := bgpsim.Compute(g, origins, nil)
+
+	legit := map[topo.ASN]float64{}
+	rng := rand.New(rand.NewSource(9))
+	for _, asn := range stubs {
+		legit[asn] = 10 + rng.Float64()*20
+	}
+	attackSrc := map[topo.ASN]float64{}
+	var inSmall []topo.ASN
+	for _, asn := range stubs {
+		if s := table.SiteOf(asn); s == 0 || s == 1 {
+			inSmall = append(inSmall, asn)
+		}
+	}
+	per := attackQPS / float64(len(inSmall))
+	for _, asn := range inSmall {
+		attackSrc[asn] = per
+	}
+	return &defense.Scenario{
+		Graph: g, Origins: origins, Capacity: capacity,
+		LegitPerAS: legit, AttackPerAS: attackSrc,
+		Minutes: 160, EventStart: 20, EventEnd: 140,
+		Netsim: netsim.DefaultConfig(),
+	}, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("Automated anycast defense (the paper's §5 future work).")
+	fmt.Println("Deployment: two 100 kq/s sites + one 1 Mq/s site; attack lands in")
+	fmt.Println("the small sites' catchments. Score: legitimate traffic served.")
+	fmt.Println()
+
+	for _, attackQPS := range []float64{600_000, 8_000_000} {
+		fmt.Printf("Attack %.1f Mq/s:\n", attackQPS/1e6)
+		rows := [][]string{}
+		controllers := []defense.Controller{
+			defense.StaticAbsorb{},
+			&defense.ThresholdWithdraw{Trigger: 2, Hold: 3, Cooldown: 30},
+			&defense.Adaptive{Interval: 5, MinGain: 0.02},
+		}
+		for _, ctrl := range controllers {
+			sc, err := scenario(attackQPS)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := defense.Evaluate(sc, ctrl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, []string{
+				out.Controller,
+				fmt.Sprintf("%.1f%%", out.ServedLegitFrac*100),
+				fmt.Sprintf("%.1f%%", out.WorstMinuteFrac*100),
+				fmt.Sprintf("%d", out.RouteChanges),
+			})
+		}
+		if err := report.WriteTable(os.Stdout,
+			[]string{"controller", "legit served", "worst minute", "route changes"}, rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("For moderate attacks, shifting catchments onto the big site wins")
+	fmt.Println("('less can be more', §2.2 cases 2-4). For overwhelming attacks no")
+	fmt.Println("move helps, and the adaptive controller learns to stay put — the")
+	fmt.Println("degraded-absorber default — without being told the attack size.")
+}

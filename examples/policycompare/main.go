@@ -1,0 +1,52 @@
+// Policycompare sweeps the paper's §2.2 thought experiment (Figure 2's
+// deployment) and prints, for each attack strength, which of the five
+// cases applies and how much better the optimal withdrawal strategy does
+// than absorbing in place.
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rootevent/anycastddos/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	const s = 100.0 // small-site capacity; S3 = 10x
+
+	fmt.Println("Anycast vs DDoS, §2.2: s1 = s2 = 100, S3 = 1000, four clients.")
+	fmt.Println("H = happy (served) clients as attack strength A0 = A1 grows.")
+	fmt.Println()
+	fmt.Printf("%8s  %4s  %9s  %9s  %s\n", "A0=A1", "case", "H(absorb)", "H(best)", "note")
+
+	lastCase := 0
+	for a := 10.0; a <= 2000; a += 10 {
+		c := core.ClassifyPaperCase(s, a, a)
+		if c.Number == lastCase {
+			continue // print one line per regime transition
+		}
+		lastCase = c.Number
+		sc := core.PaperScenario(s, a, a)
+		hAbsorb, err := sc.Happiness(sc.DefaultAssignment())
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, hBest, err := sc.Best()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f  %4d  %9d  %9d  %s\n", a, c.Number, hAbsorb, hBest, c.Rationale)
+	}
+
+	fmt.Println()
+	fmt.Println("Takeaways (matching the paper):")
+	fmt.Println("  - For small attacks, withdrawing can serve MORE users (cases 2-3:")
+	fmt.Println("    'less can be more').")
+	fmt.Println("  - For attacks beyond every site's capacity, a degraded absorber is")
+	fmt.Println("    optimal: it sacrifices its own catchment to protect the rest (case 5).")
+	fmt.Println("  - The best choice depends on attack size and placement, which real")
+	fmt.Println("    operators cannot observe mid-attack — absorption is the safe default.")
+}

@@ -1,0 +1,3 @@
+module github.com/rootevent/anycastddos
+
+go 1.22

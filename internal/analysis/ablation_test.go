@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/core"
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+func ablationConfig() core.Config {
+	cfg := core.DefaultConfig(31)
+	cfg.Topology = &topo.Config{Tier1s: 6, Tier2s: 60, Stubs: 700, Seed: 31}
+	cfg.VPs = 50 // no measurement campaign; population barely matters
+	cfg.BotnetOrigins = 30
+	return cfg
+}
+
+func TestPolicyAblation(t *testing.T) {
+	rows, err := PolicyAblation(ablationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]PolicyAblationRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+		if r.ServedLegitFrac <= 0 || r.ServedLegitFrac > 1 {
+			t.Errorf("%s served frac = %v", r.Policy, r.ServedLegitFrac)
+		}
+		if r.WorstMinuteFrac > r.ServedLegitFrac+1e-9 {
+			t.Errorf("%s worst %v above mean %v", r.Policy, r.WorstMinuteFrac, r.ServedLegitFrac)
+		}
+	}
+	// All-absorb makes no route changes; all-withdraw churns the most.
+	if byName["all-absorb"].RouteChangeCount != 0 {
+		t.Errorf("all-absorb route changes = %d", byName["all-absorb"].RouteChangeCount)
+	}
+	if byName["all-withdraw"].RouteChangeCount <= byName["as-deployed mix"].RouteChangeCount {
+		t.Errorf("all-withdraw churn %d <= mix %d",
+			byName["all-withdraw"].RouteChangeCount, byName["as-deployed mix"].RouteChangeCount)
+	}
+	// The deployed mix should be competitive with the best pure policy —
+	// operators chose their policies for a reason.
+	best := byName["all-absorb"].ServedLegitFrac
+	if byName["all-withdraw"].ServedLegitFrac > best {
+		best = byName["all-withdraw"].ServedLegitFrac
+	}
+	if byName["as-deployed mix"].ServedLegitFrac < best-0.25 {
+		t.Errorf("mix %v far below best pure policy %v",
+			byName["as-deployed mix"].ServedLegitFrac, best)
+	}
+	t.Logf("ablation: %+v", rows)
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/rootevent/anycastddos/internal/atlas"
+	"github.com/rootevent/anycastddos/internal/bgpsim"
+	"github.com/rootevent/anycastddos/internal/core"
+	"github.com/rootevent/anycastddos/internal/stats"
+)
+
+// CatchmentValidationResult cross-validates CHAOS-based catchment mapping
+// against forwarding-path traces, the methodology check the paper inherits
+// from Fan et al. (§2.1: "CHAOS mapping of anycast is generally complete
+// and reliable, validating it against traceroute").
+type CatchmentValidationResult struct {
+	Compared   int // VPs with both a CHAOS site and a trace
+	Agree      int
+	Disagree   int
+	NoResponse int // VPs without a usable CHAOS observation in the bin
+	NoRoute    int // VPs whose trace reaches no site
+	// HijackedCaught counts VPs the cleaning stage excluded whose CHAOS
+	// replies would have disagreed with routing — the failure mode the
+	// validation exists to catch.
+	HijackedCaught int
+}
+
+// AgreementFrac returns the CHAOS/trace agreement rate.
+func (r *CatchmentValidationResult) AgreementFrac() float64 {
+	if r.Compared == 0 {
+		return 0
+	}
+	return float64(r.Agree) / float64(r.Compared)
+}
+
+// ValidateCatchments compares each clean VP's CHAOS-derived site (from the
+// dataset, at a quiet bin) against the forwarding trace through the routing
+// tables at the same time.
+func ValidateCatchments(ev *core.Evaluator, d *atlas.Dataset, letter byte, bin int) (*CatchmentValidationResult, error) {
+	if !d.HasLetter(letter) {
+		return nil, fmt.Errorf("analysis: letter %c not in dataset", letter)
+	}
+	if bin < 0 || bin >= d.Bins {
+		return nil, fmt.Errorf("analysis: bin %d out of range", bin)
+	}
+	minute := d.StartMinute + bin*d.BinMinutes
+	res := &CatchmentValidationResult{}
+	for i := range ev.Population.VPs {
+		vp := &ev.Population.VPs[i]
+		if d.Excluded[vp.ID] {
+			if vp.Hijacked {
+				res.HijackedCaught++
+			}
+			continue
+		}
+		obs, ok := d.At(letter, vp.ID, bin)
+		if !ok || obs.Status != atlas.OK || obs.Site < 0 {
+			res.NoResponse++
+			continue
+		}
+		_, traced := ev.TraceAt(letter, vp.ASN, minute)
+		if traced == bgpsim.NoSite {
+			res.NoRoute++
+			continue
+		}
+		res.Compared++
+		if traced == int(obs.Site) {
+			res.Agree++
+		} else {
+			res.Disagree++
+		}
+	}
+	return res, nil
+}
+
+// OptimalityResult quantifies anycast routing inefficiency: how often BGP
+// sends a client to its latency-closest site, and how much latency the
+// detours cost — the placement-and-affinity concern of the measurement
+// studies the paper builds on (§4).
+type OptimalityResult struct {
+	Letter         byte
+	VPs            int
+	OptimalFrac    float64 // fraction routed to their lowest-RTT site
+	MeanInflation  float64 // mean (chosen - best) RTT in ms
+	P90Inflation   float64
+	WorstInflation float64
+}
+
+// CatchmentOptimality measures, at a quiet minute, each clean VP's chosen
+// site RTT against the best announced site.
+func CatchmentOptimality(ev *core.Evaluator, d *atlas.Dataset, letter byte, minute int) (*OptimalityResult, error) {
+	l, ok := ev.Deployment.Letter(letter)
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown letter %c", letter)
+	}
+	res := &OptimalityResult{Letter: letter}
+	var inflations []float64
+	for i := range ev.Population.VPs {
+		vp := &ev.Population.VPs[i]
+		if d.Excluded[vp.ID] {
+			continue
+		}
+		site := ev.SiteAt(letter, vp.ASN, minute)
+		if site < 0 {
+			continue
+		}
+		chosen := ev.CityRTTms(vp.City.Code, l.Sites[site].City.Code)
+		best := chosen
+		for _, s := range l.Sites {
+			if rtt := ev.CityRTTms(vp.City.Code, s.City.Code); rtt < best {
+				best = rtt
+			}
+		}
+		infl := chosen - best
+		inflations = append(inflations, infl)
+		res.VPs++
+		if infl < 1 {
+			res.OptimalFrac++
+		}
+		if infl > res.WorstInflation {
+			res.WorstInflation = infl
+		}
+		res.MeanInflation += infl
+	}
+	if res.VPs > 0 {
+		res.OptimalFrac /= float64(res.VPs)
+		res.MeanInflation /= float64(res.VPs)
+	}
+	res.P90Inflation = quantileOf(inflations, 0.9)
+	return res, nil
+}
+
+func quantileOf(xs []float64, q float64) float64 {
+	return stats.Quantile(xs, q)
+}

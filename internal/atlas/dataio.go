@@ -1,0 +1,188 @@
+package atlas
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Dataset serialization. The paper's processed measurement dataset is
+// published for other researchers (§2.4); this codec gives our synthetic
+// counterpart the same property: a compact, versioned binary format that
+// round-trips the cleaned corpus, so expensive simulations can be archived
+// and re-analyzed without re-running them.
+
+// datasetMagic identifies the format and version.
+var datasetMagic = [8]byte{'A', 'T', 'L', 'D', 'S', '0', '0', '1'}
+
+// ErrBadDatasetFile marks a corrupt or foreign file.
+var ErrBadDatasetFile = errors.New("atlas: not a dataset file")
+
+// Save writes the dataset in the binary format.
+func (d *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(datasetMagic[:]); err != nil {
+		return err
+	}
+	writeU32 := func(v int) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	for _, v := range []int{d.StartMinute, d.BinMinutes, d.Bins, d.RawBinMinutes, d.RawBins, d.NumVPs, len(d.Letters), len(d.raw)} {
+		if err := writeU32(v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(d.Letters); err != nil {
+		return err
+	}
+	rawLetters := make([]byte, 0, len(d.raw))
+	for _, l := range d.Letters {
+		if _, ok := d.raw[l]; ok {
+			rawLetters = append(rawLetters, l)
+		}
+	}
+	if _, err := bw.Write(rawLetters); err != nil {
+		return err
+	}
+	// Exclusions: flag byte + length-prefixed reason.
+	for vp := 0; vp < d.NumVPs; vp++ {
+		flag := byte(0)
+		if d.Excluded[vp] {
+			flag = 1
+		}
+		if err := bw.WriteByte(flag); err != nil {
+			return err
+		}
+		reason := d.ExcludedReason[vp]
+		if err := bw.WriteByte(byte(len(reason))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(reason); err != nil {
+			return err
+		}
+	}
+	// Binned cells: site int16, status uint8, rtt uint16.
+	var cell [5]byte
+	for li := range d.Letters {
+		for _, obs := range d.binned[li] {
+			binary.LittleEndian.PutUint16(cell[0:], uint16(obs.Site))
+			cell[2] = byte(obs.Status)
+			binary.LittleEndian.PutUint16(cell[3:], obs.RTTms)
+			if _, err := bw.Write(cell[:]); err != nil {
+				return err
+			}
+		}
+	}
+	// Raw cells: site int16, server int8, status uint8, rtt uint16.
+	var rawCell [6]byte
+	for _, l := range rawLetters {
+		for _, obs := range d.raw[l] {
+			binary.LittleEndian.PutUint16(rawCell[0:], uint16(obs.Site))
+			rawCell[2] = byte(obs.Server)
+			rawCell[3] = byte(obs.Status)
+			binary.LittleEndian.PutUint16(rawCell[4:], obs.RTTms)
+			if _, err := bw.Write(rawCell[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadDataset reads a dataset written by Save.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDatasetFile, err)
+	}
+	if magic != datasetMagic {
+		return nil, ErrBadDatasetFile
+	}
+	readU32 := func() (int, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return int(binary.LittleEndian.Uint32(buf[:])), nil
+	}
+	var hdr [8]int
+	for i := range hdr {
+		v, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("atlas: dataset header: %w", err)
+		}
+		hdr[i] = v
+	}
+	startMinute, binMinutes, bins, rawBinMinutes, rawBins, numVPs, nLetters, nRaw := hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5], hdr[6], hdr[7]
+	const maxPlausible = 1 << 26
+	if binMinutes <= 0 || bins <= 0 || rawBinMinutes <= 0 || numVPs <= 0 ||
+		nLetters <= 0 || nLetters > 26 || nRaw < 0 || nRaw > nLetters ||
+		numVPs*bins > maxPlausible || numVPs*rawBins > maxPlausible {
+		return nil, ErrBadDatasetFile
+	}
+	letters := make([]byte, nLetters)
+	if _, err := io.ReadFull(br, letters); err != nil {
+		return nil, err
+	}
+	rawLetters := make([]byte, nRaw)
+	if _, err := io.ReadFull(br, rawLetters); err != nil {
+		return nil, err
+	}
+	d := NewDataset(letters, rawLetters, numVPs, startMinute, binMinutes, bins, rawBinMinutes)
+	if d.RawBins != rawBins {
+		return nil, fmt.Errorf("atlas: dataset raw-bin mismatch: %d vs %d", d.RawBins, rawBins)
+	}
+	for vp := 0; vp < numVPs; vp++ {
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		rlen, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		reason := make([]byte, rlen)
+		if _, err := io.ReadFull(br, reason); err != nil {
+			return nil, err
+		}
+		if flag == 1 {
+			d.Excluded[vp] = true
+			d.ExcludedReason[vp] = string(reason)
+		}
+	}
+	var cell [5]byte
+	for li := range letters {
+		for j := range d.binned[li] {
+			if _, err := io.ReadFull(br, cell[:]); err != nil {
+				return nil, fmt.Errorf("atlas: dataset binned cells: %w", err)
+			}
+			d.binned[li][j] = BinObs{
+				Site:   int16(binary.LittleEndian.Uint16(cell[0:])),
+				Status: Status(cell[2]),
+				RTTms:  binary.LittleEndian.Uint16(cell[3:]),
+			}
+		}
+	}
+	var rawCell [6]byte
+	for _, l := range rawLetters {
+		cells := d.raw[l]
+		for j := range cells {
+			if _, err := io.ReadFull(br, rawCell[:]); err != nil {
+				return nil, fmt.Errorf("atlas: dataset raw cells: %w", err)
+			}
+			cells[j] = RawObs{
+				Site:   int16(binary.LittleEndian.Uint16(rawCell[0:])),
+				Server: int8(rawCell[2]),
+				Status: Status(rawCell[3]),
+				RTTms:  binary.LittleEndian.Uint16(rawCell[4:]),
+			}
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,353 @@
+package atlas
+
+import (
+	"fmt"
+
+	"github.com/rootevent/anycastddos/internal/stats"
+)
+
+// Status classifies one probe (or one bin) outcome.
+type Status uint8
+
+// Outcome classes, in the paper's binning precedence order: a bin with any
+// successful reply reports the site; else any error rcode; else timeout;
+// bins without probes are NoData (§2.4.1).
+const (
+	NoData   Status = iota
+	OK              // positive response (RCODE 0) identifying a site
+	RCodeErr        // a response arrived but with a non-zero RCODE
+	Timeout         // no reply within the Atlas timeout
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case NoData:
+		return "nodata"
+	case OK:
+		return "ok"
+	case RCodeErr:
+		return "error"
+	case Timeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// NoSite marks a bin or probe that did not identify a site.
+const NoSite = -1
+
+// BinObs is the resolved observation of one VP for one letter in one
+// ten-minute bin.
+type BinObs struct {
+	Site   int16 // index into the letter's site list, or NoSite
+	Status Status
+	RTTms  uint16 // mean RTT of successful probes in the bin; 0 if none
+}
+
+// RawObs is a single probe result, kept only for letters configured for
+// raw retention (needed by the per-server and per-VP-raster analyses).
+type RawObs struct {
+	Site   int16
+	Server int8 // 1-based server index, 0 unknown
+	Status Status
+	RTTms  uint16
+}
+
+// Dataset is the cleaned, binned measurement corpus for one simulation run.
+type Dataset struct {
+	StartMinute int
+	BinMinutes  int
+	Bins        int
+
+	// RawBinMinutes is the probe cadence (raw bins are one probe wide).
+	RawBinMinutes int
+	RawBins       int
+
+	Letters   []byte
+	letterIdx map[byte]int
+
+	NumVPs int
+	// Excluded marks VPs dropped by cleaning (old firmware or detected
+	// hijack); their observations are retained but ignored by accessors.
+	Excluded []bool
+	// ExcludedReason maps a VP to why it was dropped ("" if kept).
+	ExcludedReason []string
+
+	// binned[letterIdx][vp*Bins+bin]
+	binned [][]BinObs
+	// raw[letter][vp*RawBins+rawBin], only for raw-retained letters.
+	raw map[byte][]RawObs
+}
+
+// NewDataset allocates a dataset for the given letters and shape.
+func NewDataset(letters []byte, rawLetters []byte, numVPs, startMinute, binMinutes, bins, rawBinMinutes int) *Dataset {
+	d := &Dataset{
+		StartMinute:    startMinute,
+		BinMinutes:     binMinutes,
+		Bins:           bins,
+		RawBinMinutes:  rawBinMinutes,
+		RawBins:        bins * binMinutes / rawBinMinutes,
+		Letters:        append([]byte(nil), letters...),
+		letterIdx:      make(map[byte]int, len(letters)),
+		NumVPs:         numVPs,
+		Excluded:       make([]bool, numVPs),
+		ExcludedReason: make([]string, numVPs),
+		raw:            make(map[byte][]RawObs),
+	}
+	d.binned = make([][]BinObs, len(letters))
+	for i, l := range letters {
+		d.letterIdx[l] = i
+		cells := make([]BinObs, numVPs*bins)
+		for j := range cells {
+			cells[j].Site = NoSite
+		}
+		d.binned[i] = cells
+	}
+	for _, l := range rawLetters {
+		if _, ok := d.letterIdx[l]; !ok {
+			continue
+		}
+		cells := make([]RawObs, numVPs*d.RawBins)
+		for j := range cells {
+			cells[j].Site = NoSite
+		}
+		d.raw[l] = cells
+	}
+	return d
+}
+
+// HasLetter reports whether the dataset tracks a letter.
+func (d *Dataset) HasLetter(letter byte) bool {
+	_, ok := d.letterIdx[letter]
+	return ok
+}
+
+// HasRaw reports whether raw probes were retained for a letter.
+func (d *Dataset) HasRaw(letter byte) bool {
+	_, ok := d.raw[letter]
+	return ok
+}
+
+// bin returns the bin index for an absolute minute, or -1.
+func (d *Dataset) bin(minute int) int {
+	if minute < d.StartMinute {
+		return -1
+	}
+	i := (minute - d.StartMinute) / d.BinMinutes
+	if i >= d.Bins {
+		return -1
+	}
+	return i
+}
+
+// rawBin returns the raw-bin index for an absolute minute, or -1.
+func (d *Dataset) rawBin(minute int) int {
+	if minute < d.StartMinute {
+		return -1
+	}
+	i := (minute - d.StartMinute) / d.RawBinMinutes
+	if i >= d.RawBins {
+		return -1
+	}
+	return i
+}
+
+// record folds one probe into the binned matrix (and the raw matrix when
+// retained), applying the site>error>timeout precedence within each bin.
+func (d *Dataset) record(vp VPID, letter byte, minute int, site int, server int, status Status, rttMs float64) {
+	li, ok := d.letterIdx[letter]
+	if !ok {
+		return
+	}
+	if raw, ok := d.raw[letter]; ok {
+		if rb := d.rawBin(minute); rb >= 0 {
+			cell := &raw[int(vp)*d.RawBins+rb]
+			// One probe per raw bin; last write wins.
+			cell.Status = status
+			cell.Site = int16(site)
+			cell.Server = int8(server)
+			cell.RTTms = clampRTT(rttMs)
+		}
+	}
+	b := d.bin(minute)
+	if b < 0 {
+		return
+	}
+	cell := &d.binned[li][int(vp)*d.Bins+b]
+	switch status {
+	case OK:
+		if cell.Status == OK {
+			// Average successive successful RTTs in the bin.
+			cell.RTTms = uint16((uint32(cell.RTTms) + uint32(clampRTT(rttMs))) / 2)
+		} else {
+			cell.Status = OK
+			cell.RTTms = clampRTT(rttMs)
+		}
+		cell.Site = int16(site)
+	case RCodeErr:
+		if cell.Status != OK {
+			cell.Status = RCodeErr
+			cell.Site = NoSite
+		}
+	case Timeout:
+		if cell.Status == NoData {
+			cell.Status = Timeout
+			cell.Site = NoSite
+		}
+	}
+}
+
+func clampRTT(ms float64) uint16 {
+	if ms < 0 {
+		return 0
+	}
+	if ms > 65535 {
+		return 65535
+	}
+	return uint16(ms)
+}
+
+// Exclude drops a VP from analysis with a reason.
+func (d *Dataset) Exclude(vp VPID, reason string) {
+	if int(vp) < len(d.Excluded) {
+		d.Excluded[vp] = true
+		d.ExcludedReason[vp] = reason
+	}
+}
+
+// NumExcluded returns how many VPs were dropped by cleaning.
+func (d *Dataset) NumExcluded() int {
+	n := 0
+	for _, e := range d.Excluded {
+		if e {
+			n++
+		}
+	}
+	return n
+}
+
+// At returns the binned observation for (letter, vp, bin). The second
+// return is false for excluded VPs or unknown letters.
+func (d *Dataset) At(letter byte, vp VPID, bin int) (BinObs, bool) {
+	li, ok := d.letterIdx[letter]
+	if !ok || d.Excluded[vp] || bin < 0 || bin >= d.Bins {
+		return BinObs{Site: NoSite}, false
+	}
+	return d.binned[li][int(vp)*d.Bins+bin], true
+}
+
+// RawAt returns the raw observation for (letter, vp, rawBin).
+func (d *Dataset) RawAt(letter byte, vp VPID, rawBin int) (RawObs, bool) {
+	cells, ok := d.raw[letter]
+	if !ok || d.Excluded[vp] || rawBin < 0 || rawBin >= d.RawBins {
+		return RawObs{Site: NoSite}, false
+	}
+	return cells[int(vp)*d.RawBins+rawBin], true
+}
+
+// EachVP calls fn for every non-excluded VP ID.
+func (d *Dataset) EachVP(fn func(vp VPID)) {
+	for i := 0; i < d.NumVPs; i++ {
+		if !d.Excluded[i] {
+			fn(VPID(i))
+		}
+	}
+}
+
+// SuccessSeries returns, for one letter, the number of VPs with a
+// successful query per bin — the quantity plotted in Figure 3.
+func (d *Dataset) SuccessSeries(letter byte) (*stats.Series, error) {
+	li, ok := d.letterIdx[letter]
+	if !ok {
+		return nil, fmt.Errorf("atlas: letter %c not in dataset", letter)
+	}
+	s := stats.NewSeries(fmt.Sprintf("vps-ok-%c", letter), d.StartMinute, d.BinMinutes, d.Bins)
+	for vp := 0; vp < d.NumVPs; vp++ {
+		if d.Excluded[vp] {
+			continue
+		}
+		row := d.binned[li][vp*d.Bins : (vp+1)*d.Bins]
+		for b, cell := range row {
+			if cell.Status == OK {
+				s.Values[b]++
+			}
+		}
+	}
+	return s, nil
+}
+
+// MedianRTTSeries returns the per-bin median RTT of successful queries for
+// one letter (Figure 4).
+func (d *Dataset) MedianRTTSeries(letter byte) (*stats.Series, error) {
+	li, ok := d.letterIdx[letter]
+	if !ok {
+		return nil, fmt.Errorf("atlas: letter %c not in dataset", letter)
+	}
+	perBin := make([][]float64, d.Bins)
+	for vp := 0; vp < d.NumVPs; vp++ {
+		if d.Excluded[vp] {
+			continue
+		}
+		row := d.binned[li][vp*d.Bins : (vp+1)*d.Bins]
+		for b, cell := range row {
+			if cell.Status == OK {
+				perBin[b] = append(perBin[b], float64(cell.RTTms))
+			}
+		}
+	}
+	s := stats.NewSeries(fmt.Sprintf("rtt-median-%c", letter), d.StartMinute, d.BinMinutes, d.Bins)
+	for b, xs := range perBin {
+		s.Values[b] = stats.Median(xs)
+	}
+	return s, nil
+}
+
+// SiteSeries returns the number of VPs resolved to the given site of a
+// letter per bin (Figures 5, 6, 14).
+func (d *Dataset) SiteSeries(letter byte, site int) (*stats.Series, error) {
+	li, ok := d.letterIdx[letter]
+	if !ok {
+		return nil, fmt.Errorf("atlas: letter %c not in dataset", letter)
+	}
+	s := stats.NewSeries(fmt.Sprintf("vps-%c-site%d", letter, site), d.StartMinute, d.BinMinutes, d.Bins)
+	for vp := 0; vp < d.NumVPs; vp++ {
+		if d.Excluded[vp] {
+			continue
+		}
+		row := d.binned[li][vp*d.Bins : (vp+1)*d.Bins]
+		for b, cell := range row {
+			if cell.Status == OK && int(cell.Site) == site {
+				s.Values[b]++
+			}
+		}
+	}
+	return s, nil
+}
+
+// SiteRTTSeries returns the per-bin median RTT of successful queries that
+// landed on one site (Figure 7).
+func (d *Dataset) SiteRTTSeries(letter byte, site int) (*stats.Series, error) {
+	li, ok := d.letterIdx[letter]
+	if !ok {
+		return nil, fmt.Errorf("atlas: letter %c not in dataset", letter)
+	}
+	perBin := make([][]float64, d.Bins)
+	for vp := 0; vp < d.NumVPs; vp++ {
+		if d.Excluded[vp] {
+			continue
+		}
+		row := d.binned[li][vp*d.Bins : (vp+1)*d.Bins]
+		for b, cell := range row {
+			if cell.Status == OK && int(cell.Site) == site {
+				perBin[b] = append(perBin[b], float64(cell.RTTms))
+			}
+		}
+	}
+	s := stats.NewSeries(fmt.Sprintf("rtt-%c-site%d", letter, site), d.StartMinute, d.BinMinutes, d.Bins)
+	for b, xs := range perBin {
+		s.Values[b] = stats.Median(xs)
+	}
+	return s, nil
+}

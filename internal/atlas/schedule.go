@@ -1,0 +1,127 @@
+package atlas
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/rootevent/anycastddos/internal/chaos"
+)
+
+// Outcome is the world's answer to one probe: what the VP's query
+// experienced out on the (simulated or real) network.
+type Outcome struct {
+	Status Status
+	// Site and Server identify the responding anycast site/server for
+	// successful probes (site is an index into the letter's site list).
+	Site   int
+	Server int
+	RTTms  float64
+	// ChaosTXT is the raw identity string carried by the reply; the
+	// cleaning stage parses it to detect hijacked VPs. Empty for
+	// timeouts.
+	ChaosTXT string
+}
+
+// World resolves probes. The core evaluator implements this against the
+// full event simulation; tests implement it directly; the live prober
+// implements it over UDP sockets.
+type World interface {
+	ProbeOutcome(vp *VP, letter byte, minute int) Outcome
+}
+
+// ScheduleConfig shapes a measurement campaign.
+type ScheduleConfig struct {
+	Letters     []byte
+	RawLetters  []byte // letters whose raw per-probe data is retained
+	StartMinute int
+	Minutes     int // campaign length
+	BinMinutes  int // analysis bin width (the paper uses 10)
+	// IntervalMin is the probing cadence (4 minutes on Atlas).
+	IntervalMin int
+	// AIntervalMin is A-Root's slower cadence at event time (30 minutes;
+	// §2.4.1 — too coarse for event analysis, which is why the paper
+	// drops A from most figures).
+	AIntervalMin int
+}
+
+// DefaultScheduleConfig covers the two event days for all 13 letters with
+// raw retention for K-Root (the letter the paper's server-level and raster
+// analyses use).
+func DefaultScheduleConfig() ScheduleConfig {
+	return ScheduleConfig{
+		Letters:      []byte("ABCDEFGHIJKLM"),
+		RawLetters:   []byte("K"),
+		StartMinute:  0,
+		Minutes:      48 * 60,
+		BinMinutes:   10,
+		IntervalMin:  4,
+		AIntervalMin: 30,
+	}
+}
+
+// Run executes the probing campaign and returns the cleaned dataset:
+// pre-4570-firmware VPs are dropped outright, and VPs whose replies match
+// no known letter pattern at implausibly short RTTs are flagged as hijacked
+// and dropped (§2.4.1).
+//
+// VPs probe independently, so the campaign shards the population across
+// CPUs; each VP's cells live in disjoint dataset rows, making the sharding
+// race-free. World implementations must be safe for concurrent reads.
+func Run(p *Population, w World, cfg ScheduleConfig) *Dataset {
+	bins := cfg.Minutes / cfg.BinMinutes
+	d := NewDataset(cfg.Letters, cfg.RawLetters, p.N(), cfg.StartMinute, cfg.BinMinutes, bins, cfg.IntervalMin)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.N() {
+		workers = p.N()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for shard := 0; shard < workers; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := shard; i < len(p.VPs); i += workers {
+				runVP(&p.VPs[i], w, cfg, d)
+			}
+		}(shard)
+	}
+	wg.Wait()
+	return d
+}
+
+// runVP executes one vantage point's whole campaign.
+func runVP(vp *VP, w World, cfg ScheduleConfig, d *Dataset) {
+	if vp.Firmware < MinFirmware {
+		d.Exclude(vp.ID, "firmware")
+		return
+	}
+	hijackEvidence := false
+	for _, letter := range cfg.Letters {
+		interval := cfg.IntervalMin
+		if letter == 'A' && cfg.AIntervalMin > 0 {
+			interval = cfg.AIntervalMin
+		}
+		for minute := cfg.StartMinute + vp.Phase%interval; minute < cfg.StartMinute+cfg.Minutes; minute += interval {
+			out := w.ProbeOutcome(vp, letter, minute)
+			status := out.Status
+			if status == OK && out.RTTms >= AtlasTimeoutMs {
+				status = Timeout
+			}
+			if status == OK && out.ChaosTXT != "" && !chaos.Matches(letter, out.ChaosTXT) {
+				if out.RTTms < HijackRTTThresholdMs {
+					hijackEvidence = true
+				}
+				// A malformed identity that is not obviously a
+				// hijack is kept but carries no site mapping.
+				out.Site = NoSite
+			}
+			d.record(vp.ID, letter, minute, out.Site, out.Server, status, out.RTTms)
+		}
+	}
+	if hijackEvidence {
+		d.Exclude(vp.ID, "hijack")
+	}
+}

@@ -1,0 +1,353 @@
+// Package bgpsim computes anycast catchments by propagating BGP routes over
+// an AS-level topology with Gao-Rexford (valley-free) policies.
+//
+// An anycast service announces one prefix from several sites, each homed in
+// a host AS. Routing then associates every AS with one site — the site's
+// catchment (§2.1 of the paper). Sites can be *global* (announced normally)
+// or *local* (announced with NO_EXPORT-style scoping so only the host's
+// immediate neighbors learn the route, as several root letters do for their
+// local sites, Table 2). Withdrawing a site's announcement shrinks its
+// catchment to nothing and shifts its ASes to other sites — the "waterbed"
+// behaviour the paper observes under stress (§2.2, §3.4).
+//
+// Route selection follows standard policy preferences: customer-learned
+// routes over peer-learned over provider-learned, then shorter AS paths,
+// then a deterministic per-AS tie-break (a hash standing in for the IGP
+// costs and router IDs real networks break ties on, so tied sites split
+// the population instead of one site absorbing every tie).
+package bgpsim
+
+import (
+	"fmt"
+
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+// RelClass records how an AS learned a route, in preference order.
+type RelClass uint8
+
+// Route classes, ordered from most to least preferred.
+const (
+	FromSelf     RelClass = iota // the AS hosts the site
+	FromCustomer                 // learned from a customer
+	FromPeer                     // learned from a settlement-free peer
+	FromProvider                 // learned from a provider
+)
+
+// String returns the class name.
+func (c RelClass) String() string {
+	switch c {
+	case FromSelf:
+		return "self"
+	case FromCustomer:
+		return "customer"
+	case FromPeer:
+		return "peer"
+	case FromProvider:
+		return "provider"
+	default:
+		return fmt.Sprintf("RelClass(%d)", uint8(c))
+	}
+}
+
+// NoSite marks the absence of a route.
+const NoSite = -1
+
+// Origin is one anycast site announcement.
+type Origin struct {
+	Site  int      // caller-defined site identifier (>= 0)
+	Host  topo.ASN // AS hosting the site
+	Local bool     // NO_EXPORT scoping: only the host's direct neighbors learn the route
+}
+
+// Route is an AS's best path to the anycast prefix.
+type Route struct {
+	Site    int      // chosen site, or NoSite
+	PathLen uint8    // AS-path length from the origin
+	Class   RelClass // how the route was learned
+	NextHop topo.ASN // neighbor the route was learned from (self for origins)
+	// ViaDefault marks traffic that reaches the prefix with no BGP route
+	// of its own: the AS simply defaults packets to a transit provider.
+	// This is how single-homed networks behind an ISP holding only a
+	// NO_EXPORT route still reach the service in practice.
+	ViaDefault bool
+	origin     int  // index of the announcing uplink in the origins slice
+	noExport   bool // route must not be re-advertised
+}
+
+// Valid reports whether the route reaches any site.
+func (r Route) Valid() bool { return r.Site != NoSite }
+
+// nextLen increments a path length, saturating instead of wrapping so that
+// pathological graphs cannot cycle through uint8 overflow.
+func nextLen(l uint8) uint8 {
+	if l == 255 {
+		return 255
+	}
+	return l + 1
+}
+
+// mix64 is the splitmix64 finalizer, used for per-AS tie ranks.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// tieRank orders equally-preferred routes at one AS. Real routers break
+// class/path-length ties on IGP cost and router IDs, which vary per
+// network; a per-(AS, uplink) hash reproduces that: each AS has its own
+// stable preference among tied announcements, so tied sites split the
+// population — and a site announced through k uplinks wins a tie against a
+// single-uplink site with probability k/(k+1), the structural advantage of
+// heavily meshed IX sites like K-AMS.
+func tieRank(asn topo.ASN, origin int) uint64 {
+	return mix64(uint64(asn)<<20 ^ uint64(uint32(origin))*0x9E3779B9)
+}
+
+// better reports whether candidate a beats incumbent b at the given AS
+// under BGP policy preferences with deterministic per-AS tie-breaking.
+func better(asn topo.ASN, a, b Route) bool {
+	if !b.Valid() {
+		return a.Valid()
+	}
+	if !a.Valid() {
+		return false
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.PathLen != b.PathLen {
+		return a.PathLen < b.PathLen
+	}
+	if a.origin == b.origin {
+		return false
+	}
+	ra, rb := tieRank(asn, a.origin), tieRank(asn, b.origin)
+	if ra != rb {
+		return ra < rb
+	}
+	return a.origin < b.origin
+}
+
+// Table holds every AS's best route for one anycast prefix.
+type Table struct {
+	Routes []Route // indexed by ASN
+}
+
+// SiteOf returns the site serving the given AS, or NoSite.
+func (t *Table) SiteOf(a topo.ASN) int { return t.Routes[a].Site }
+
+// CatchmentSizes returns, for each site index < nSites, the number of ASes
+// routed to it.
+func (t *Table) CatchmentSizes(nSites int) []int {
+	sizes := make([]int, nSites)
+	for _, r := range t.Routes {
+		if r.Site >= 0 && r.Site < nSites {
+			sizes[r.Site]++
+		}
+	}
+	return sizes
+}
+
+// Compute propagates the origins' announcements across the graph and
+// returns the resulting routing table. active reports whether each origins
+// entry is currently announced; nil means all are active.
+//
+// The computation is a synchronous path-vector iteration: each round, every
+// AS selects its best route among its own origins and its neighbors'
+// previous-round routes, under valley-free export rules (self/customer
+// routes go everywhere; peer/provider routes only to customers; NO_EXPORT
+// routes are never re-advertised). Iterating to a fixpoint — which
+// Gao-Rexford preferences guarantee — yields a *forwarding-consistent*
+// table: every AS's NextHop actually holds the route it advertised, so
+// traces and selections always agree.
+func Compute(g *topo.Graph, origins []Origin, active []bool) *Table {
+	n := g.N()
+	cur := make([]Route, n)
+	next := make([]Route, n)
+	for i := range cur {
+		cur[i] = Route{Site: NoSite}
+		next[i] = Route{Site: NoSite}
+	}
+
+	// Per-AS origin seeds and the NO_EXPORT routes local origins spray to
+	// their direct customers/peers (both constant across rounds).
+	seeds := make(map[topo.ASN][]Route)
+	localAdverts := make(map[topo.ASN][]Route)
+	for i, o := range origins {
+		if active != nil && !active[i] {
+			continue
+		}
+		seeds[o.Host] = append(seeds[o.Host], Route{
+			Site: o.Site, PathLen: 0, Class: FromSelf, NextHop: o.Host, origin: i, noExport: o.Local,
+		})
+		if o.Local {
+			// Local-site announcements (NOPEER + NO_EXPORT) reach only
+			// the host ISP's customers: the node serves the host's own
+			// cone. Advertising to peers or providers would let the
+			// tiny site win route ties across the region and siphon
+			// traffic it cannot serve.
+			host := g.AS(o.Host)
+			for _, c := range host.Customers {
+				localAdverts[c] = append(localAdverts[c], Route{
+					Site: o.Site, PathLen: 1, Class: FromProvider, NextHop: o.Host, origin: i, noExport: true,
+				})
+			}
+		}
+	}
+
+	const maxRounds = 128
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for asn := 0; asn < n; asn++ {
+			a := topo.ASN(asn)
+			best := Route{Site: NoSite}
+			consider := func(r Route) {
+				if better(a, r, best) {
+					best = r
+				}
+			}
+			for _, r := range seeds[a] {
+				consider(r)
+			}
+			for _, r := range localAdverts[a] {
+				consider(r)
+			}
+			node := g.AS(a)
+			// Valley-free export rules, from the receiver's perspective:
+			// a customer or peer advertises only its self/customer
+			// routes; a provider advertises its full (non-NO_EXPORT)
+			// table downward.
+			for _, c := range node.Customers {
+				r := cur[c]
+				if !r.Valid() || r.noExport || r.Class > FromCustomer {
+					continue
+				}
+				consider(Route{Site: r.Site, PathLen: nextLen(r.PathLen), Class: FromCustomer, NextHop: c, origin: r.origin})
+			}
+			for _, p := range node.Peers {
+				r := cur[p]
+				if !r.Valid() || r.noExport || r.Class > FromCustomer {
+					continue
+				}
+				consider(Route{Site: r.Site, PathLen: nextLen(r.PathLen), Class: FromPeer, NextHop: p, origin: r.origin})
+			}
+			for _, p := range node.Providers {
+				r := cur[p]
+				if !r.Valid() || r.noExport {
+					continue
+				}
+				consider(Route{Site: r.Site, PathLen: nextLen(r.PathLen), Class: FromProvider, NextHop: p, origin: r.origin})
+			}
+			next[asn] = best
+			if best != cur[asn] {
+				changed = true
+			}
+		}
+		cur, next = next, cur
+		if !changed {
+			break
+		}
+	}
+	resolveDefaults(g, cur)
+	return &Table{Routes: cur}
+}
+
+// resolveDefaults fills in forwarding for ASes without a BGP route: edge
+// networks run default routes toward a transit provider, so their packets
+// climb the hierarchy until they hit an AS that does hold a route (or a
+// default-free tier-1 without one, where they die). The provider choice is
+// the same per-AS deterministic hash as route tie-breaking.
+func resolveDefaults(g *topo.Graph, routes []Route) {
+	const unresolved, resolving, done = 0, 1, 2
+	state := make([]uint8, len(routes))
+	var fill func(asn topo.ASN) Route
+	fill = func(asn topo.ASN) Route {
+		if state[asn] == done || routes[asn].Valid() {
+			state[asn] = done
+			return routes[asn]
+		}
+		if state[asn] == resolving {
+			return Route{Site: NoSite} // defensive; provider edges are acyclic
+		}
+		state[asn] = resolving
+		var best Route = Route{Site: NoSite}
+		var bestHop topo.ASN
+		bestRank := ^uint64(0)
+		for _, p := range g.AS(asn).Providers {
+			if r := fill(p); r.Valid() {
+				if rank := mix64(uint64(asn)<<20 ^ uint64(p)); rank < bestRank {
+					bestRank = rank
+					best = r
+					bestHop = p
+				}
+			}
+		}
+		if best.Valid() {
+			routes[asn] = Route{
+				Site: best.Site, PathLen: nextLen(best.PathLen), Class: FromProvider,
+				NextHop: bestHop, ViaDefault: true, origin: best.origin, noExport: true,
+			}
+		}
+		state[asn] = done
+		return routes[asn]
+	}
+	for asn := range routes {
+		fill(topo.ASN(asn))
+	}
+}
+
+// Change records one AS whose best site changed between two tables.
+type Change struct {
+	ASN  topo.ASN
+	From int // previous site or NoSite
+	To   int // new site or NoSite
+}
+
+// Diff returns the set of ASes whose selected site differs between two
+// tables. The result drives both site-flip accounting and the BGPmon
+// collector view.
+func Diff(old, new *Table) []Change {
+	var out []Change
+	for i := range new.Routes {
+		if old.Routes[i].Site != new.Routes[i].Site {
+			out = append(out, Change{ASN: topo.ASN(i), From: old.Routes[i].Site, To: new.Routes[i].Site})
+		}
+	}
+	return out
+}
+
+// Trace reconstructs the AS-level forwarding path from an AS toward the
+// anycast prefix by following NextHop links — the simulator's analog of a
+// traceroute, used to cross-validate CHAOS-based catchment mapping the way
+// Fan et al. did for the paper's methodology (§2.1). It returns the
+// traversed ASes (starting at from) and the site reached, or NoSite when
+// the AS has no route or forwarding is inconsistent (a loop or a hop
+// without a route).
+func (t *Table) Trace(from topo.ASN, maxHops int) (path []topo.ASN, site int) {
+	if maxHops <= 0 {
+		maxHops = 64
+	}
+	seen := make(map[topo.ASN]bool, 8)
+	cur := from
+	for hops := 0; hops <= maxHops; hops++ {
+		path = append(path, cur)
+		r := t.Routes[cur]
+		if !r.Valid() {
+			return path, NoSite
+		}
+		if r.Class == FromSelf || r.NextHop == cur {
+			return path, r.Site
+		}
+		if seen[cur] {
+			return path, NoSite // forwarding loop
+		}
+		seen[cur] = true
+		cur = r.NextHop
+	}
+	return path, NoSite
+}

@@ -1,0 +1,309 @@
+// Package chaos formats and parses the CHAOS-class TXT identities that root
+// letters return for hostname.bind / id.server queries (RFC 4892).
+//
+// Each real root letter answers with its own site/server naming convention;
+// the reply format is not standardized, but each letter follows a pattern
+// that can be parsed to determine the site and server a vantage point
+// reaches (§2.1 of the paper, following Fan et al.). This package defines
+// one documented pattern per letter — modeled on the publicly observable
+// conventions — and a strict parser that recovers (letter, site, server)
+// from a reply string. Replies that match no known pattern feed the
+// hijack-detection heuristic in the atlas package.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Identity identifies the server that answered a CHAOS query.
+type Identity struct {
+	Letter byte   // 'A'..'M'
+	Site   string // IATA airport code, upper case, e.g. "AMS"
+	Server int    // 1-based server index within the site
+}
+
+// String renders the identity in the paper's X-APT-Sn notation.
+func (id Identity) String() string {
+	return fmt.Sprintf("%c-%s-S%d", id.Letter, id.Site, id.Server)
+}
+
+// SiteName renders the X-APT site name used throughout the paper's figures.
+func (id Identity) SiteName() string {
+	return fmt.Sprintf("%c-%s", id.Letter, id.Site)
+}
+
+// Errors returned by the parser.
+var (
+	ErrUnknownLetter   = errors.New("chaos: unknown root letter")
+	ErrPatternMismatch = errors.New("chaos: reply does not match letter pattern")
+)
+
+// pattern describes one letter's identity convention as a printf-style
+// template over (site, server) plus a matching parser. Site codes appear in
+// lower case on the wire.
+type pattern struct {
+	format func(site string, server int) string
+	parse  func(txt string) (site string, server int, err error)
+}
+
+// trailing splits "prefixN" into ("prefix", N) where N is the longest
+// numeric suffix.
+func trailing(s string) (string, int, bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(s[i:])
+	if err != nil {
+		return "", 0, false
+	}
+	return s[:i], n, true
+}
+
+// sitePart validates a lower-case IATA code and returns it in upper case.
+func sitePart(s string) (string, bool) {
+	if len(s) != 3 {
+		return "", false
+	}
+	for i := 0; i < 3; i++ {
+		if s[i] < 'a' || s[i] > 'z' {
+			return "", false
+		}
+	}
+	return strings.ToUpper(s), true
+}
+
+// prefixNumSite parses "<prefix><n>.<site>.<suffix>".
+func prefixNumSite(prefix, suffix string) func(string) (string, int, error) {
+	return func(txt string) (string, int, error) {
+		body, ok := strings.CutSuffix(txt, suffix)
+		if !ok {
+			return "", 0, ErrPatternMismatch
+		}
+		rest, ok := strings.CutPrefix(body, prefix)
+		if !ok {
+			return "", 0, ErrPatternMismatch
+		}
+		numStr, siteStr, ok := strings.Cut(rest, ".")
+		if !ok {
+			return "", 0, ErrPatternMismatch
+		}
+		n, err := strconv.Atoi(numStr)
+		if err != nil || n < 1 {
+			return "", 0, ErrPatternMismatch
+		}
+		site, ok := sitePart(siteStr)
+		if !ok {
+			return "", 0, ErrPatternMismatch
+		}
+		return site, n, nil
+	}
+}
+
+// siteNumSuffix parses "<site><n>.<suffix>".
+func siteNumSuffix(suffix string) func(string) (string, int, error) {
+	return func(txt string) (string, int, error) {
+		body, ok := strings.CutSuffix(txt, suffix)
+		if !ok {
+			return "", 0, ErrPatternMismatch
+		}
+		prefix, n, ok := trailing(body)
+		if !ok || n < 1 {
+			return "", 0, ErrPatternMismatch
+		}
+		site, ok := sitePart(prefix)
+		if !ok {
+			return "", 0, ErrPatternMismatch
+		}
+		return site, n, nil
+	}
+}
+
+// dashSiteNum parses "<prefix>-<site><n>" or "<prefix>-<site>-<n>".
+func dashSiteNum(prefix string, dashed bool, suffix string) func(string) (string, int, error) {
+	return func(txt string) (string, int, error) {
+		body, ok := strings.CutSuffix(txt, suffix)
+		if !ok {
+			return "", 0, ErrPatternMismatch
+		}
+		rest, ok := strings.CutPrefix(body, prefix+"-")
+		if !ok {
+			return "", 0, ErrPatternMismatch
+		}
+		if dashed {
+			siteStr, numStr, ok := strings.Cut(rest, "-")
+			if !ok {
+				return "", 0, ErrPatternMismatch
+			}
+			n, err := strconv.Atoi(numStr)
+			if err != nil || n < 1 {
+				return "", 0, ErrPatternMismatch
+			}
+			site, ok := sitePart(siteStr)
+			if !ok {
+				return "", 0, ErrPatternMismatch
+			}
+			return site, n, nil
+		}
+		siteStr, n, ok := trailing(rest)
+		if !ok || n < 1 {
+			return "", 0, ErrPatternMismatch
+		}
+		site, ok := sitePart(siteStr)
+		if !ok {
+			return "", 0, ErrPatternMismatch
+		}
+		return site, n, nil
+	}
+}
+
+// patterns maps each letter to its convention. Conventions are stable per
+// letter and intentionally distinct in shape, mirroring the diversity of
+// the real deployments.
+var patterns = map[byte]pattern{
+	'A': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("rootns-%s%d.verisign.com", strings.ToLower(site), server)
+		},
+		parse: dashSiteNum("rootns", false, ".verisign.com"),
+	},
+	'B': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("b%d.%s.isi.edu", server, strings.ToLower(site))
+		},
+		parse: prefixNumSite("b", ".isi.edu"),
+	},
+	'C': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("%s%db.c.root-servers.org", strings.ToLower(site), server)
+		},
+		parse: siteNumSuffix("b.c.root-servers.org"),
+	},
+	'D': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("d%d.%s.droot.maryland.edu", server, strings.ToLower(site))
+		},
+		parse: prefixNumSite("d", ".droot.maryland.edu"),
+	},
+	'E': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("e%d.%s.eroot.nasa.gov", server, strings.ToLower(site))
+		},
+		parse: prefixNumSite("e", ".eroot.nasa.gov"),
+	},
+	'F': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("%s%d.f.root-servers.org", strings.ToLower(site), server)
+		},
+		parse: siteNumSuffix(".f.root-servers.org"),
+	},
+	'G': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("groot-%s-%d.disa.mil", strings.ToLower(site), server)
+		},
+		parse: dashSiteNum("groot", true, ".disa.mil"),
+	},
+	'H': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("h%d.%s.aos.arl.army.mil", server, strings.ToLower(site))
+		},
+		parse: prefixNumSite("h", ".aos.arl.army.mil"),
+	},
+	'I': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("s%d.%s.i.root-servers.org", server, strings.ToLower(site))
+		},
+		parse: prefixNumSite("s", ".i.root-servers.org"),
+	},
+	'J': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("rootnsj-%s%d.verisign.com", strings.ToLower(site), server)
+		},
+		parse: dashSiteNum("rootnsj", false, ".verisign.com"),
+	},
+	'K': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("ns%d.%s.k.ripe.net", server, strings.ToLower(site))
+		},
+		parse: prefixNumSite("ns", ".k.ripe.net"),
+	},
+	'L': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("%s%d.l.root-servers.org", strings.ToLower(site), server)
+		},
+		parse: siteNumSuffix(".l.root-servers.org"),
+	},
+	'M': {
+		format: func(site string, server int) string {
+			return fmt.Sprintf("m%d.%s.wide.ad.jp", server, strings.ToLower(site))
+		},
+		parse: prefixNumSite("m", ".wide.ad.jp"),
+	},
+}
+
+// Letters returns the 13 root letters in order.
+func Letters() []byte {
+	return []byte{'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M'}
+}
+
+// Format renders the CHAOS TXT identity a given letter's server returns.
+func Format(letter byte, site string, server int) (string, error) {
+	p, ok := patterns[letter]
+	if !ok {
+		return "", ErrUnknownLetter
+	}
+	if server < 1 {
+		return "", fmt.Errorf("chaos: server index %d: must be >= 1", server)
+	}
+	if _, ok := sitePart(strings.ToLower(site)); !ok {
+		return "", fmt.Errorf("chaos: site %q: must be a 3-letter code", site)
+	}
+	return p.format(site, server), nil
+}
+
+// MustFormat is Format for known-good inputs; it panics on error.
+func MustFormat(letter byte, site string, server int) string {
+	s, err := Format(letter, site, server)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Parse interprets txt as an identity reply from the given letter.
+func Parse(letter byte, txt string) (Identity, error) {
+	p, ok := patterns[letter]
+	if !ok {
+		return Identity{}, ErrUnknownLetter
+	}
+	site, server, err := p.parse(strings.ToLower(strings.TrimSpace(txt)))
+	if err != nil {
+		return Identity{}, fmt.Errorf("letter %c, reply %q: %w", letter, txt, err)
+	}
+	return Identity{Letter: letter, Site: site, Server: server}, nil
+}
+
+// ParseAny tries all letters and returns the first match. Useful when the
+// querier does not know which service answered (e.g. hijack forensics).
+func ParseAny(txt string) (Identity, bool) {
+	for _, l := range Letters() {
+		if id, err := Parse(l, txt); err == nil {
+			return id, true
+		}
+	}
+	return Identity{}, false
+}
+
+// Matches reports whether txt is a well-formed identity for the letter.
+// The atlas cleaning stage flags VPs whose replies fail this check and whose
+// RTTs are implausibly short as hijacked (§2.4.1).
+func Matches(letter byte, txt string) bool {
+	_, err := Parse(letter, txt)
+	return err == nil
+}

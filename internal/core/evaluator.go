@@ -1,0 +1,871 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rootevent/anycastddos/internal/anycast"
+	"github.com/rootevent/anycastddos/internal/atlas"
+	"github.com/rootevent/anycastddos/internal/attack"
+	"github.com/rootevent/anycastddos/internal/bgpmon"
+	"github.com/rootevent/anycastddos/internal/bgpsim"
+	"github.com/rootevent/anycastddos/internal/chaos"
+	"github.com/rootevent/anycastddos/internal/geo"
+	"github.com/rootevent/anycastddos/internal/netsim"
+	"github.com/rootevent/anycastddos/internal/rrl"
+	"github.com/rootevent/anycastddos/internal/rssac"
+	"github.com/rootevent/anycastddos/internal/stats"
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+// Config parameterizes a full event reproduction.
+type Config struct {
+	Seed int64
+
+	// Topology; zero value selects topo.DefaultConfig(Seed).
+	Topology *topo.Config
+
+	// VPs is the Atlas population size (9000 reproduces the paper's
+	// scale; smaller values keep tests fast with the same dynamics).
+	VPs int
+
+	// Minutes simulated; defaults to the two observation days.
+	Minutes int
+
+	// BotnetOrigins is how many stub ASes source attack traffic.
+	BotnetOrigins int
+
+	// Collectors is the BGPmon peer count (the paper used 152).
+	Collectors int
+
+	// RawLetters get per-probe retention (needed for Figures 11-13).
+	RawLetters []byte
+
+	// Netsim holds the queue model calibration.
+	Netsim netsim.Config
+
+	// Withdraw dynamics.
+	TriggerRatio    float64 // utilization counting as overload (default 2.5)
+	HoldMinutes     int     // sustained overload before withdrawing (default 8)
+	CooldownMinutes int     // base re-announce delay (default 70)
+	// FlapHold/FlapCooldown drive emergent session failures at Absorb
+	// sites with flappy uplinks.
+	FlapHold     int // default 6
+	FlapCooldown int // default 25
+
+	// ForcePolicy, when set, overrides every site's stress policy — the
+	// ablation knob for comparing an all-absorb against an all-withdraw
+	// root deployment (forcing Absorb also disables session flaps).
+	ForcePolicy *anycast.Policy
+
+	// Schedule selects the attack scenario; nil runs the paper's Nov 2015
+	// events (attack.Nov2015Schedule).
+	Schedule *attack.Schedule
+}
+
+// DefaultConfig returns a full-scale configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		VPs:             9000,
+		Minutes:         attack.SimMinutes,
+		BotnetOrigins:   60,
+		Collectors:      152,
+		RawLetters:      []byte("K"),
+		Netsim:          netsim.DefaultConfig(),
+		TriggerRatio:    2.5,
+		HoldMinutes:     8,
+		CooldownMinutes: 70,
+		FlapHold:        6,
+		FlapCooldown:    25,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.VPs == 0 {
+		c.VPs = 9000
+	}
+	if c.Minutes == 0 {
+		c.Minutes = attack.SimMinutes
+	}
+	if c.BotnetOrigins == 0 {
+		c.BotnetOrigins = 60
+	}
+	if c.Collectors == 0 {
+		c.Collectors = 152
+	}
+	if c.RawLetters == nil {
+		c.RawLetters = []byte("K")
+	}
+	if c.Netsim == (netsim.Config{}) {
+		c.Netsim = netsim.DefaultConfig()
+	}
+	if c.TriggerRatio == 0 {
+		c.TriggerRatio = 2.5
+	}
+	if c.HoldMinutes == 0 {
+		c.HoldMinutes = 8
+	}
+	if c.CooldownMinutes == 0 {
+		c.CooldownMinutes = 70
+	}
+	if c.FlapHold == 0 {
+		c.FlapHold = 6
+	}
+	if c.FlapCooldown == 0 {
+		c.FlapCooldown = 25
+	}
+}
+
+// epoch is one routing regime of a letter: the table that held from Start
+// until the next epoch, plus the per-site traffic shares it implies.
+type epoch struct {
+	Start      int
+	Table      *bgpsim.Table
+	LegitFrac  []float64 // per site: share of the letter's legitimate load
+	AttackFrac []float64 // per site: share of the letter's attack load
+}
+
+// originState is one BGP announcement (site uplink) and its state machine.
+type originState struct {
+	site   int
+	router *netsim.Router
+	// flap marks an uplink whose BGP session fails under shared-fabric
+	// congestion (city excess), not only local overload.
+	flap bool
+}
+
+// flapExcessQPS converts city-level excess load into the utilization signal
+// flappy uplinks react to: at this excess, the shared fabric is congested
+// enough that BGP sessions start timing out.
+const flapExcessQPS = 250_000
+
+// letterState carries one letter's routing and per-minute service state.
+type letterState struct {
+	letter  *anycast.Letter
+	origins []bgpsim.Origin
+	states  []originState
+	active  []bool
+	epochs  []epoch
+
+	// Per-site per-minute service quality.
+	loss     [][]float32 // [site][minute]
+	delay    [][]float32
+	hasRoute [][]bool // any uplink announced
+
+	// Aggregated per-minute letter traffic (for RSSAC).
+	legitServed  []float64
+	attackServed []float64
+	retryServed  []float64
+	responses    []float64
+}
+
+// Evaluator runs the full reproduction and implements atlas.World.
+type Evaluator struct {
+	Cfg        Config
+	Graph      *topo.Graph
+	Deployment *anycast.Deployment
+	Population *atlas.Population
+	Collector  *bgpmon.Collector
+	Botnet     *attack.Botnet
+	Clients    *attack.ClientPopulation
+	RSSAC      *rssac.Accumulator
+
+	letters map[byte]*letterState
+	sched   *attack.Schedule
+
+	// cityExcess[cityIdx][minute] is the total over-capacity query rate
+	// landing in a city, across all letters — the shared-infrastructure
+	// stress behind collateral damage (§3.6).
+	cityExcess [][]float64
+	cityIdx    map[string]int
+
+	// NL models the .nl TLD's two anycast deployments colocated with
+	// root sites (Figure 15); values are served query rates normalized
+	// to the pre-event level.
+	NLSites  []string // city codes (anonymized in the paper)
+	NLSeries []*stats.Series
+
+	// rttMatrix caches city-to-city baseline RTTs.
+	rttMatrix [][]float64
+	// txt caches CHAOS identity strings per letter/site/server.
+	txt map[byte][][]string
+
+	ran bool
+}
+
+// NewEvaluator builds the full system: topology, deployment placement,
+// population, botnet, collectors.
+func NewEvaluator(cfg Config) (*Evaluator, error) {
+	cfg.fillDefaults()
+	tcfg := topo.DefaultConfig(cfg.Seed)
+	if cfg.Topology != nil {
+		tcfg = *cfg.Topology
+	}
+	g, err := topo.Generate(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	dep := anycast.RootDeployment(cfg.Seed)
+	if cfg.ForcePolicy != nil {
+		for _, l := range dep.Letters {
+			for _, s := range l.Sites {
+				s.Policy = *cfg.ForcePolicy
+				if *cfg.ForcePolicy == anycast.Absorb {
+					s.FlappyUplinks = 0
+				}
+			}
+		}
+	}
+	if err := dep.Place(g, cfg.Seed+1); err != nil {
+		return nil, err
+	}
+	pop, err := atlas.NewPopulation(g, atlas.PopulationConfig{
+		N: cfg.VPs, Seed: cfg.Seed + 2, OldFirmwareFrac: 0.03, HijackedFrac: 0.008,
+	})
+	if err != nil {
+		return nil, err
+	}
+	col, err := bgpmon.NewSampled(g, cfg.Collectors, cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = attack.Nov2015Schedule()
+	}
+	ev := &Evaluator{
+		Cfg:        cfg,
+		sched:      sched,
+		Graph:      g,
+		Deployment: dep,
+		Population: pop,
+		Collector:  col,
+		Botnet:     attack.NewBotnet(g, cfg.BotnetOrigins, cfg.Seed+4),
+		Clients:    attack.NewClientPopulation(g, cfg.Seed+5),
+		RSSAC:      rssac.NewAccumulator((cfg.Minutes+1439)/1440, attack.DefaultSourceMix),
+		letters:    make(map[byte]*letterState),
+		NLSites:    []string{"AMS", "LHR"},
+	}
+	ev.buildCaches()
+	ev.buildLetterStates()
+	return ev, nil
+}
+
+func (ev *Evaluator) buildCaches() {
+	cities := geo.Cities()
+	ev.cityIdx = make(map[string]int, len(cities))
+	for i, c := range cities {
+		ev.cityIdx[c.Code] = i
+	}
+	ev.rttMatrix = make([][]float64, len(cities))
+	for i := range cities {
+		ev.rttMatrix[i] = make([]float64, len(cities))
+		for j := range cities {
+			ev.rttMatrix[i][j] = geo.DefaultRTTModel.RTTMs(cities[i], cities[j])
+		}
+	}
+	ev.txt = make(map[byte][][]string)
+	for _, l := range ev.Deployment.Letters {
+		perSite := make([][]string, len(l.Sites))
+		for si, s := range l.Sites {
+			perSite[si] = make([]string, s.NumServers+1)
+			for srv := 1; srv <= s.NumServers; srv++ {
+				perSite[si][srv] = chaos.MustFormat(l.Letter, s.Code, srv)
+			}
+		}
+		ev.txt[l.Letter] = perSite
+	}
+	ev.cityExcess = make([][]float64, len(cities))
+	for i := range ev.cityExcess {
+		ev.cityExcess[i] = make([]float64, ev.Cfg.Minutes)
+	}
+}
+
+func (ev *Evaluator) buildLetterStates() {
+	for _, l := range ev.Deployment.Letters {
+		ls := &letterState{letter: l}
+		for si, s := range l.Sites {
+			for u := 0; u < s.EffectiveUplinks(); u++ {
+				ls.origins = append(ls.origins, bgpsim.Origin{
+					Site: si, Host: s.Hosts[u], Local: s.Local,
+				})
+				var router *netsim.Router
+				switch {
+				case s.Policy == anycast.Withdraw:
+					// Stagger cooldowns so withdrawn sites re-appear at
+					// different times; every third withdraw-site stays
+					// down much longer (the E-Root "shut down" group).
+					cooldown := ev.Cfg.CooldownMinutes + (si*13)%40
+					if si%3 == 2 {
+						cooldown = 10 * ev.Cfg.CooldownMinutes
+					}
+					router = netsim.NewRouter(anycast.Withdraw, ev.Cfg.TriggerRatio, ev.Cfg.HoldMinutes+(si%4), cooldown)
+				case u < s.FlappyUplinks:
+					// Emergent session failure at an absorb site: a low
+					// trigger, driven by both local overload and
+					// shared-fabric congestion (see Run). A site's flappy
+					// sessions share the congested fabric, so they fail
+					// together — K-LHR lost essentially its whole
+					// catchment at once (§3.4.2). SlowRestore sessions
+					// stay down long after the stress ends, which is
+					// what leaves the paper's group-4 VPs ("flip and
+					// stay") at their new site after the event.
+					cooldown := ev.Cfg.FlapCooldown
+					if s.SlowRestore {
+						cooldown *= 16
+					}
+					router = netsim.NewRouter(anycast.Withdraw, 1.15, ev.Cfg.FlapHold, cooldown)
+				default:
+					router = netsim.NewRouter(anycast.Absorb, ev.Cfg.TriggerRatio, ev.Cfg.HoldMinutes, ev.Cfg.CooldownMinutes)
+				}
+				ls.states = append(ls.states, originState{
+					site:   si,
+					router: router,
+					flap:   s.Policy == anycast.Absorb && u < s.FlappyUplinks,
+				})
+			}
+		}
+		// H-Root primary/backup: the backup starts un-announced.
+		ls.active = make([]bool, len(ls.origins))
+		for i := range ls.active {
+			ls.active[i] = true
+		}
+		if l.PrimaryBackup && len(l.Sites) >= 2 {
+			for oi, o := range ls.origins {
+				if o.Site != 0 {
+					ls.active[oi] = false
+					ls.states[oi].router.ForceWithdraw(0)
+				}
+			}
+		}
+		nSites := len(l.Sites)
+		ls.loss = make([][]float32, nSites)
+		ls.delay = make([][]float32, nSites)
+		ls.hasRoute = make([][]bool, nSites)
+		for si := 0; si < nSites; si++ {
+			ls.loss[si] = make([]float32, ev.Cfg.Minutes)
+			ls.delay[si] = make([]float32, ev.Cfg.Minutes)
+			ls.hasRoute[si] = make([]bool, ev.Cfg.Minutes)
+		}
+		ls.legitServed = make([]float64, ev.Cfg.Minutes)
+		ls.attackServed = make([]float64, ev.Cfg.Minutes)
+		ls.retryServed = make([]float64, ev.Cfg.Minutes)
+		ls.responses = make([]float64, ev.Cfg.Minutes)
+		ev.letters[l.Letter] = ls
+	}
+}
+
+// recomputeEpoch recomputes routing and traffic shares for a letter.
+func (ev *Evaluator) recomputeEpoch(ls *letterState, minute int) {
+	table := bgpsim.Compute(ev.Graph, ls.origins, ls.active)
+	nSites := len(ls.letter.Sites)
+	legit := make([]float64, nSites)
+	attackShare := make([]float64, nSites)
+	for asn, w := range ev.Clients.Weights {
+		if site := table.SiteOf(asn); site >= 0 {
+			legit[site] += w
+		}
+	}
+	for i, asn := range ev.Botnet.Origins {
+		if site := table.SiteOf(asn); site >= 0 {
+			attackShare[site] += ev.Botnet.Weights[i] * (1 - attack.BackgroundShare)
+		}
+	}
+	// Attack ingress: BackgroundShare of the flood arrives uniformly from
+	// every stub AS (spoofed sources are everywhere); the rest enters
+	// through the concentrated botnet.
+	stubs := ev.Graph.StubASNs()
+	if len(stubs) > 0 {
+		per := attack.BackgroundShare / float64(len(stubs))
+		for _, asn := range stubs {
+			if site := table.SiteOf(asn); site >= 0 {
+				attackShare[site] += per
+			}
+		}
+	}
+	ep := epoch{Start: minute, Table: table, LegitFrac: legit, AttackFrac: attackShare}
+	if len(ls.epochs) > 0 {
+		prev := ls.epochs[len(ls.epochs)-1]
+		changes := bgpsim.Diff(prev.Table, table)
+		ev.Collector.Observe(minute, ls.letter.Letter, changes)
+	}
+	ls.epochs = append(ls.epochs, ep)
+}
+
+// epochAt returns the routing epoch in force at a minute.
+func (ls *letterState) epochAt(minute int) *epoch {
+	// Epochs are appended in time order; binary search the last with
+	// Start <= minute.
+	i := sort.Search(len(ls.epochs), func(i int) bool { return ls.epochs[i].Start > minute })
+	if i == 0 {
+		return &ls.epochs[0]
+	}
+	return &ls.epochs[i-1]
+}
+
+// Run executes the minute loop. It must be called exactly once before
+// Probe/Dataset accessors.
+func (ev *Evaluator) Run() error {
+	if ev.ran {
+		return fmt.Errorf("core: evaluator already ran")
+	}
+	ev.ran = true
+
+	events := ev.sched.Events
+	letters := ev.Deployment.SortedLetters()
+	for _, lb := range letters {
+		ev.recomputeEpoch(ev.letters[lb], 0)
+	}
+
+	// Pre-event retry load is zero; during events, legitimate queries
+	// that fail at attacked letters are retried at the others (§3.2.2).
+	for minute := 0; minute < ev.Cfg.Minutes; minute++ {
+		evIdx := ev.sched.Active(minute)
+
+		// Pass 1: per-letter site states.
+		var failedLegitQPS float64
+		attackedCount := 0
+		for _, lb := range letters {
+			ls := ev.letters[lb]
+			ep := ls.epochAt(minute)
+			attacked := evIdx >= 0 && ev.sched.Targeted(lb)
+			if attacked {
+				attackedCount++
+			}
+			var attackQPS float64
+			if attacked {
+				attackQPS = events[evIdx].PerLetterQPS
+			}
+			utilization := make([]float64, len(ls.letter.Sites))
+			for si, site := range ls.letter.Sites {
+				if !ev.siteAnnounced(ls, si) {
+					ls.hasRoute[si][minute] = false
+					ls.loss[si][minute] = 1
+					continue
+				}
+				load := netsim.Load{
+					LegitQPS:  ep.LegitFrac[si] * ls.letter.NormalQPS,
+					AttackQPS: ep.AttackFrac[si] * attackQPS,
+				}
+				st := netsim.Evaluate(site.CapacityQPS, load, ev.Cfg.Netsim)
+				if site.ShallowBuffers && st.ExtraDelayMs > 60 {
+					st.ExtraDelayMs = 60
+				}
+				utilization[si] = st.Utilization
+				ls.hasRoute[si][minute] = true
+				ls.loss[si][minute] = float32(st.LossFrac)
+				ls.delay[si][minute] = float32(st.ExtraDelayMs)
+
+				served := st.ServedQPS
+				frac := 0.0
+				if st.OfferedQPS > 0 {
+					frac = served / st.OfferedQPS
+				}
+				ls.legitServed[minute] += load.LegitQPS * frac
+				ls.attackServed[minute] += load.AttackQPS * frac
+				failedLegitQPS += load.LegitQPS * (1 - frac)
+
+				// Shared-infrastructure stress for collateral damage.
+				if excess := st.OfferedQPS - served; excess > 0 {
+					if ci, ok := ev.cityIdx[site.City.Code]; ok {
+						ev.cityExcess[ci][minute] += excess
+					}
+				}
+			}
+			// Step announcement state machines.
+			changed := false
+			for oi := range ls.states {
+				os := &ls.states[oi]
+				u := utilization[os.site]
+				if os.flap && minute > 0 {
+					// Session failures also follow shared-fabric
+					// congestion in the site's city (previous minute's
+					// totals, so letter processing order cannot matter).
+					if ci, ok := ev.cityIdx[ls.letter.Sites[os.site].City.Code]; ok {
+						if cu := ev.cityExcess[ci][minute-1] / flapExcessQPS; cu > u {
+							u = cu
+						}
+					}
+				}
+				if !ls.active[oi] {
+					u = 0
+				}
+				if os.router.Step(minute, u) {
+					changed = true
+				}
+				ls.active[oi] = os.router.Announced()
+			}
+			// H-Root primary/backup: activate the backup while the
+			// primary is down.
+			if ls.letter.PrimaryBackup && len(ls.letter.Sites) >= 2 {
+				primaryUp := false
+				for oi, o := range ls.origins {
+					if o.Site == 0 && ls.active[oi] {
+						primaryUp = true
+					}
+				}
+				for oi, o := range ls.origins {
+					if o.Site != 0 {
+						want := !primaryUp
+						if ls.active[oi] != want {
+							if want {
+								ls.states[oi].router.ForceAnnounce()
+							} else {
+								ls.states[oi].router.ForceWithdraw(minute)
+							}
+							ls.active[oi] = want
+							changed = true
+						}
+					}
+				}
+			}
+			if changed {
+				ev.recomputeEpoch(ls, minute+1)
+			}
+		}
+
+		// Pass 2: retry load at un-attacked letters and RSSAC records.
+		unattacked := 0
+		for _, lb := range letters {
+			if evIdx >= 0 && !ev.sched.Targeted(lb) {
+				unattacked++
+			}
+		}
+		for _, lb := range letters {
+			ls := ev.letters[lb]
+			if evIdx >= 0 && !ev.sched.Targeted(lb) && unattacked > 0 {
+				ls.retryServed[minute] = failedLegitQPS / float64(unattacked)
+			}
+			// Responses: legit (and retries) answered 1:1; attack
+			// responses survive RRL at the reported ~60% suppression.
+			suppress := 0.0
+			if ls.attackServed[minute] > 0 {
+				total := ls.attackServed[minute] + ls.legitServed[minute]
+				suppress = rrl.SuppressionModel(ls.attackServed[minute] / total)
+			}
+			ls.responses[minute] = ls.legitServed[minute] + ls.retryServed[minute] +
+				ls.attackServed[minute]*(1-suppress)
+
+			rec := rssac.Minute{
+				Minute:          minute,
+				LegitServedQPS:  ls.legitServed[minute],
+				RetryServedQPS:  ls.retryServed[minute],
+				AttackServedQPS: ls.attackServed[minute],
+				ResponseQPS:     ls.responses[minute],
+			}
+			if evIdx >= 0 {
+				rec.AttackQueryBytes = events[evIdx].QueryBytes
+				rec.AttackResponseBytes = events[evIdx].ResponseBytes
+			}
+			ev.RSSAC.Record(lb, rec)
+		}
+	}
+
+	ev.buildNLSeries()
+	return nil
+}
+
+// buildNLSeries materializes the .nl collateral series (Figure 15). The
+// paper anonymizes which root sites the two .nl anycast nodes share
+// infrastructure with; we anchor them to the two most event-stressed
+// absorbing root sites — exactly the "located near Root DNS servers"
+// condition — and starve them in proportion to the shared rack's overload.
+func (ev *Evaluator) buildNLSeries() {
+	type anchor struct {
+		letter byte
+		site   int
+		stress float64
+	}
+	var anchors []anchor
+	for lb, ls := range ev.letters {
+		if !ev.sched.Targeted(lb) {
+			continue
+		}
+		for si := range ls.letter.Sites {
+			var sum float64
+			n := 0
+			for m := 0; m < ev.Cfg.Minutes; m++ {
+				if ev.sched.Active(m) < 0 {
+					continue
+				}
+				if ls.hasRoute[si][m] {
+					sum += float64(ls.loss[si][m])
+				}
+				n++
+			}
+			if n > 0 {
+				anchors = append(anchors, anchor{lb, si, sum / float64(n)})
+			}
+		}
+	}
+	sort.Slice(anchors, func(i, j int) bool {
+		if anchors[i].stress != anchors[j].stress {
+			return anchors[i].stress > anchors[j].stress
+		}
+		if anchors[i].letter != anchors[j].letter {
+			return anchors[i].letter < anchors[j].letter
+		}
+		return anchors[i].site < anchors[j].site
+	})
+	nNL := 2
+	if len(anchors) < nNL {
+		nNL = len(anchors)
+	}
+	ev.NLSites = ev.NLSites[:0]
+	ev.NLSeries = make([]*stats.Series, nNL)
+	for i := 0; i < nNL; i++ {
+		a := anchors[i]
+		ls := ev.letters[a.letter]
+		site := ls.letter.Sites[a.site]
+		ev.NLSites = append(ev.NLSites, site.City.Code)
+		ci := ev.cityIdx[site.City.Code]
+		s := stats.NewSeries(fmt.Sprintf("nl-anycast-%d", i+1), 0, 10, ev.Cfg.Minutes/10)
+		for b := 0; b < s.Bins(); b++ {
+			var served float64
+			for m := b * 10; m < (b+1)*10 && m < ev.Cfg.Minutes; m++ {
+				rootLoss := 0.0
+				if ls.hasRoute[a.site][m] {
+					rootLoss = float64(ls.loss[a.site][m])
+				}
+				// Sharing a saturated rack link: the small .nl node is
+				// starved much harder than the root's own loss rate.
+				shared := 1 - (1-rootLoss)*(1-rootLoss)*(1-rootLoss)*(1-rootLoss)
+				if cl := ev.nlLoss(ci, m); cl > shared {
+					shared = cl
+				}
+				if shared > 0.98 {
+					shared = 0.98
+				}
+				served += 1 - shared
+			}
+			s.Values[b] = served / 10
+		}
+		ev.NLSeries[i] = s
+	}
+}
+
+// siteAnnounced reports whether any of a site's uplinks is announced.
+func (ev *Evaluator) siteAnnounced(ls *letterState, site int) bool {
+	for oi, o := range ls.origins {
+		if o.Site == site && ls.active[oi] {
+			return true
+		}
+	}
+	return false
+}
+
+// Collateral-damage calibration: the excess rate (q/s) in a city at which
+// co-located, not-directly-attacked services start losing queries, and the
+// rate at which loss saturates.
+const (
+	collateralOnsetQPS = 600_000
+	collateralFullQPS  = 6_000_000
+	// .nl's anycast nodes share racks with root sites, so they saturate
+	// much earlier (Figure 15 shows them dropping to ~zero).
+	nlFullQPS = 1_500_000
+)
+
+// collateralLoss is the query-loss probability that city-level stress
+// imposes on co-located services.
+func collateralLoss(excess float64, fullQPS float64) float64 {
+	if excess <= collateralOnsetQPS {
+		return 0
+	}
+	l := (excess - collateralOnsetQPS) / (fullQPS - collateralOnsetQPS)
+	if l > 0.97 {
+		l = 0.97
+	}
+	return l
+}
+
+// nlLoss is the loss experienced by a .nl anycast node in city ci.
+func (ev *Evaluator) nlLoss(ci, minute int) float64 {
+	l := collateralLoss(ev.cityExcess[ci][minute], nlFullQPS)
+	if l > 0.97 {
+		l = 0.97
+	}
+	return l
+}
+
+// mix64 is the splitmix64 finalizer, used to derive per-probe coins.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// coin returns a deterministic uniform [0,1) draw for a probe key.
+func (ev *Evaluator) coin(vp atlas.VPID, letter byte, minute int, salt uint64) float64 {
+	key := uint64(ev.Cfg.Seed)*0x9E3779B97F4A7C15 ^
+		uint64(vp)<<40 ^ uint64(letter)<<32 ^ uint64(uint32(minute)) ^ salt<<56
+	return float64(mix64(key)>>11) / float64(1<<53)
+}
+
+// ProbeOutcome implements atlas.World against the simulated event.
+func (ev *Evaluator) ProbeOutcome(vp *atlas.VP, letter byte, minute int) atlas.Outcome {
+	if minute >= ev.Cfg.Minutes {
+		minute = ev.Cfg.Minutes - 1
+	}
+	if vp.Hijacked {
+		// A third-party resolver intercepts the query: instant bogus
+		// identity at an implausibly short RTT (§2.4.1).
+		return atlas.Outcome{Status: atlas.OK, Site: 0, RTTms: 2 + 3*ev.coin(vp.ID, letter, minute, 1), ChaosTXT: "dnsmasq-2.76"}
+	}
+	ls, ok := ev.letters[letter]
+	if !ok {
+		return atlas.Outcome{Status: atlas.Timeout}
+	}
+	ep := ls.epochAt(minute)
+	site := ep.Table.SiteOf(vp.ASN)
+	if site < 0 {
+		return atlas.Outcome{Status: atlas.Timeout}
+	}
+	s := ls.letter.Sites[site]
+	if !ls.hasRoute[site][minute] {
+		return atlas.Outcome{Status: atlas.Timeout}
+	}
+
+	loss := float64(ls.loss[site][minute])
+	delay := float64(ls.delay[site][minute])
+
+	// Collateral damage applies to letters that are not directly under
+	// attack but share a stressed city (§3.6, Figure 14). Root sites
+	// have their own uplinks, so shared-facility stress costs them a
+	// bounded fraction of queries — unlike the rack-sharing .nl nodes.
+	if !ev.sched.Targeted(letter) {
+		if ci, ok := ev.cityIdx[s.City.Code]; ok {
+			cl := collateralLoss(ev.cityExcess[ci][minute], collateralFullQPS)
+			if cl > 0.45 {
+				cl = 0.45
+			}
+			loss = 1 - (1-loss)*(1-cl)
+		}
+	}
+
+	// Server selection behind the load balancer.
+	st := netsim.State{LossFrac: loss, ExtraDelayMs: delay}
+	evIdx := ev.sched.Active(minute)
+	view := netsim.Servers(s, st, ev.Cfg.Netsim, evIdx+1)
+	server := 1 + int(mix64(uint64(vp.ID)<<20^uint64(uint32(minute/4))^uint64(letter))%uint64(s.NumServers))
+	if view.Active > 0 {
+		// Under isolation every surviving reply comes from the active
+		// server (Figure 12).
+		server = view.Active
+	}
+	if !view.Responds[server-1] {
+		return atlas.Outcome{Status: atlas.Timeout}
+	}
+	if ev.coin(vp.ID, letter, minute, 2) < view.LossFrac[server-1] {
+		return atlas.Outcome{Status: atlas.Timeout}
+	}
+
+	// RTT: geography plus queueing, with mild multiplicative jitter.
+	base := ev.cityRTT(vp.City.Code, s.City.Code)
+	rtt := (base + view.ExtraDelayMs[server-1]) * (0.92 + 0.16*ev.coin(vp.ID, letter, minute, 3))
+	return atlas.Outcome{
+		Status:   atlas.OK,
+		Site:     site,
+		Server:   server,
+		RTTms:    rtt,
+		ChaosTXT: ev.txt[letter][site][server],
+	}
+}
+
+func (ev *Evaluator) cityRTT(a, b string) float64 {
+	ia, ok1 := ev.cityIdx[a]
+	ib, ok2 := ev.cityIdx[b]
+	if !ok1 || !ok2 {
+		return 150
+	}
+	return ev.rttMatrix[ia][ib]
+}
+
+// Measure runs the Atlas campaign against the completed simulation and
+// returns the cleaned dataset.
+func (ev *Evaluator) Measure() (*atlas.Dataset, error) {
+	if !ev.ran {
+		return nil, fmt.Errorf("core: Run() must complete before Measure()")
+	}
+	cfg := atlas.DefaultScheduleConfig()
+	cfg.Minutes = ev.Cfg.Minutes
+	cfg.RawLetters = ev.Cfg.RawLetters
+	return atlas.Run(ev.Population, ev, cfg), nil
+}
+
+// LetterSites returns the site list for a letter (helper for analysis).
+func (ev *Evaluator) LetterSites(letter byte) []*anycast.Site {
+	l, ok := ev.Deployment.Letter(letter)
+	if !ok {
+		return nil
+	}
+	return l.Sites
+}
+
+// SiteRouteSeries returns a 10-minute-binned series of whether a site held
+// any announced route (1) or was withdrawn (0) — ground truth behind the
+// reachability figures.
+func (ev *Evaluator) SiteRouteSeries(letter byte, site int) (*stats.Series, error) {
+	ls, ok := ev.letters[letter]
+	if !ok || site < 0 || site >= len(ls.hasRoute) {
+		return nil, fmt.Errorf("core: unknown site %c/%d", letter, site)
+	}
+	bins := ev.Cfg.Minutes / 10
+	s := stats.NewSeries(fmt.Sprintf("route-%c-%d", letter, site), 0, 10, bins)
+	for b := 0; b < bins; b++ {
+		up := 0
+		for m := b * 10; m < (b+1)*10; m++ {
+			if ls.hasRoute[site][m] {
+				up++
+			}
+		}
+		s.Values[b] = float64(up) / 10
+	}
+	return s, nil
+}
+
+// LetterServedSeries returns per-minute served legit+retry query rates for
+// one letter (used for the L-Root letter-flip analysis, §3.2.2).
+func (ev *Evaluator) LetterServedSeries(letter byte) (legit, attackQ, retry, responses []float64, err error) {
+	ls, ok := ev.letters[letter]
+	if !ok {
+		return nil, nil, nil, nil, fmt.Errorf("core: unknown letter %c", letter)
+	}
+	return ls.legitServed, ls.attackServed, ls.retryServed, ls.responses, nil
+}
+
+// RSSACReports finalizes and returns a letter's daily reports.
+func (ev *Evaluator) RSSACReports(letter byte) []*rssac.Report {
+	return ev.RSSAC.Finalize(letter)
+}
+
+// SiteAt returns the site serving an AS for one letter at a minute (or
+// bgpsim.NoSite). Valid only after Run.
+func (ev *Evaluator) SiteAt(letter byte, asn topo.ASN, minute int) int {
+	ls, ok := ev.letters[letter]
+	if !ok || !ev.ran {
+		return bgpsim.NoSite
+	}
+	return ls.epochAt(minute).Table.SiteOf(asn)
+}
+
+// TraceAt reconstructs the AS-level forwarding path from an AS toward one
+// letter's prefix at a minute — the simulator's traceroute, used to
+// cross-validate CHAOS catchment mapping (§2.1, following Fan et al.).
+func (ev *Evaluator) TraceAt(letter byte, asn topo.ASN, minute int) ([]topo.ASN, int) {
+	ls, ok := ev.letters[letter]
+	if !ok || !ev.ran {
+		return nil, bgpsim.NoSite
+	}
+	return ls.epochAt(minute).Table.Trace(asn, 64)
+}
+
+// CityRTTms exposes the baseline city-to-city RTT model used for probe
+// outcomes (150 ms for unknown codes).
+func (ev *Evaluator) CityRTTms(a, b string) float64 { return ev.cityRTT(a, b) }
+
+// Schedule returns the attack scenario this evaluator runs.
+func (ev *Evaluator) Schedule() *attack.Schedule { return ev.sched }

@@ -1,0 +1,162 @@
+// Package core ties the substrate packages into the paper's two central
+// artifacts: the §2.2 analytical model of anycast defense policies
+// (policy.go) and the full two-day event reproduction (evaluator.go), which
+// drives topology, routing, traffic, and measurement together and exposes
+// the atlas.World interface the measurement platform probes against.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Group is a routing unit in the §2.2 thought experiment: a set of clients
+// and an attack volume that always move between sites together (an "ISP").
+// Prefs lists the sites the group can be routed to, in preference order;
+// withdrawals walk down this list.
+type Group struct {
+	Name      string
+	Clients   int
+	AttackQPS float64
+	Prefs     []int
+}
+
+// Scenario is a deployment plus its traffic groups.
+type Scenario struct {
+	// Capacity[i] is site i's capacity in queries/s.
+	Capacity []float64
+	Groups   []Group
+}
+
+// Validate checks scenario invariants.
+func (s *Scenario) Validate() error {
+	if len(s.Capacity) == 0 {
+		return errors.New("core: scenario has no sites")
+	}
+	for i, c := range s.Capacity {
+		if c <= 0 {
+			return fmt.Errorf("core: site %d capacity %v", i, c)
+		}
+	}
+	for _, g := range s.Groups {
+		if len(g.Prefs) == 0 {
+			return fmt.Errorf("core: group %q has no site preferences", g.Name)
+		}
+		for _, p := range g.Prefs {
+			if p < 0 || p >= len(s.Capacity) {
+				return fmt.Errorf("core: group %q prefers unknown site %d", g.Name, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Happiness evaluates an assignment (group index -> position in the
+// group's preference list) and returns H — the number of served clients.
+// A site serves its clients iff the attack volume landing on it stays
+// within capacity; overloaded sites serve nobody (the paper's binary
+// accounting in §2.2, which ignores legitimate volume as negligible).
+func (s *Scenario) Happiness(assign []int) (int, error) {
+	if len(assign) != len(s.Groups) {
+		return 0, fmt.Errorf("core: assignment covers %d of %d groups", len(assign), len(s.Groups))
+	}
+	load := make([]float64, len(s.Capacity))
+	clients := make([]int, len(s.Capacity))
+	for gi, pos := range assign {
+		g := s.Groups[gi]
+		if pos < 0 || pos >= len(g.Prefs) {
+			return 0, fmt.Errorf("core: group %q assignment %d out of range", g.Name, pos)
+		}
+		site := g.Prefs[pos]
+		load[site] += g.AttackQPS
+		clients[site] += g.Clients
+	}
+	h := 0
+	for i := range s.Capacity {
+		if load[i] <= s.Capacity[i] {
+			h += clients[i]
+		}
+	}
+	return h, nil
+}
+
+// DefaultAssignment routes every group to its first preference.
+func (s *Scenario) DefaultAssignment() []int {
+	return make([]int, len(s.Groups))
+}
+
+// Best searches all assignments (groups at any position of their
+// preference lists — i.e., any combination of withdrawals) and returns one
+// that maximizes happiness. The search is exhaustive; thought-experiment
+// scenarios have a handful of groups.
+func (s *Scenario) Best() (assign []int, h int, err error) {
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	cur := make([]int, len(s.Groups))
+	best := make([]int, len(s.Groups))
+	bestH := -1
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(s.Groups) {
+			hh, herr := s.Happiness(cur)
+			if herr == nil && hh > bestH {
+				bestH = hh
+				copy(best, cur)
+			}
+			return
+		}
+		for p := range s.Groups[i].Prefs {
+			cur[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, bestH, nil
+}
+
+// PaperScenario builds the Figure 2 deployment: sites s1 = s2 = s,
+// S3 = 10*s; clients c0, c1 in s1's catchment, c2 in s2's, c3 in S3's;
+// attackers A0 (pinned to s1) and A1 (arriving through ISP1 with c1, so it
+// can be re-routed to s2 or S3).
+func PaperScenario(s float64, a0, a1 float64) *Scenario {
+	return &Scenario{
+		Capacity: []float64{s, s, 10 * s},
+		Groups: []Group{
+			// A0 and c0 sit directly behind s1: absorbing is their only
+			// "move" (their traffic cannot be steered elsewhere except by
+			// withdrawing s1 entirely, which sends them to s2 then S3).
+			{Name: "ISP0(c0,A0)", Clients: 1, AttackQPS: a0, Prefs: []int{0, 1, 2}},
+			{Name: "ISP1(c1,A1)", Clients: 1, AttackQPS: a1, Prefs: []int{0, 1, 2}},
+			{Name: "c2", Clients: 1, Prefs: []int{1, 2}},
+			{Name: "c3", Clients: 1, Prefs: []int{2}},
+		},
+	}
+}
+
+// Case identifies which of the five §2.2 regimes a (A0, A1) attack pair
+// falls into for the paper's deployment, with the paper's predicted optimal
+// happiness.
+type Case struct {
+	Number    int
+	BestH     int
+	Rationale string
+}
+
+// ClassifyPaperCase applies the §2.2 case analysis for capacities
+// s1 = s2 = s, S3 = 10*s.
+func ClassifyPaperCase(s, a0, a1 float64) Case {
+	s3 := 10 * s
+	switch {
+	case a0+a1 <= s:
+		return Case{1, 4, "attack within s1's capacity; nobody hurt"}
+	case a0 <= s && a1 <= s:
+		return Case{2, 4, "s1 overwhelmed but splitting A0/A1 across s1,s2 serves everyone"}
+	case a0 > s && a0+a1 <= s3:
+		return Case{3, 4, "small sites overwhelmed; withdrawing to S3 serves everyone"}
+	case a0 > s && a0+a1 > s3 && a1 <= s3 && a0 <= s3:
+		return Case{4, 3, "re-route ISP1 to S3; c0 sacrificed at s1"}
+	default:
+		return Case{5, 2, "A0 overwhelms any site; s1 becomes a degraded absorber"}
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []*Scenario{
+		{},
+		{Capacity: []float64{0}, Groups: nil},
+		{Capacity: []float64{1}, Groups: []Group{{Name: "g"}}},
+		{Capacity: []float64{1}, Groups: []Group{{Name: "g", Prefs: []int{5}}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scenario %d should fail validation", i)
+		}
+	}
+	if err := PaperScenario(100, 50, 50).Validate(); err != nil {
+		t.Errorf("paper scenario invalid: %v", err)
+	}
+}
+
+func TestHappinessAccounting(t *testing.T) {
+	s := &Scenario{
+		Capacity: []float64{100, 100},
+		Groups: []Group{
+			{Name: "a", Clients: 2, AttackQPS: 50, Prefs: []int{0, 1}},
+			{Name: "b", Clients: 1, AttackQPS: 80, Prefs: []int{1, 0}},
+		},
+	}
+	// Default: site0 load 50 (<=100, serves 2), site1 load 80 (serves 1).
+	h, err := s.Happiness(s.DefaultAssignment())
+	if err != nil || h != 3 {
+		t.Errorf("H = %d err %v, want 3", h, err)
+	}
+	// Move b onto site0: load 130 > 100, site0 serves nobody; site1 empty.
+	h, err = s.Happiness([]int{0, 1})
+	if err != nil || h != 0 {
+		t.Errorf("H = %d err %v, want 0", h, err)
+	}
+	if _, err := s.Happiness([]int{0}); err == nil {
+		t.Error("short assignment should error")
+	}
+	if _, err := s.Happiness([]int{0, 9}); err == nil {
+		t.Error("out-of-range assignment should error")
+	}
+}
+
+// TestPaperFiveCases reproduces the §2.2 thought experiment: the predicted
+// optimal happiness for each of the five regimes, with s1 = s2 = s and
+// S3 = 10s, as attack strength A0 = A1 grows (Figure 2's deployment).
+func TestPaperFiveCases(t *testing.T) {
+	const s = 100.0
+	tests := []struct {
+		a        float64 // A0 = A1
+		wantCase int
+		wantH    int
+	}{
+		{30, 1, 4},   // A0+A1=60 < s: nobody hurt
+		{80, 2, 4},   // A0+A1=160 > s but each fits a small site
+		{300, 3, 4},  // A0 > s, A0+A1=600 < 10s: S3 covers everyone
+		{700, 4, 3},  // A0+A1=1400 > S3, A1 <= S3: sacrifice c0
+		{1500, 5, 2}, // A0 > S3: degraded absorber protects the rest
+	}
+	for _, tt := range tests {
+		c := ClassifyPaperCase(s, tt.a, tt.a)
+		if c.Number != tt.wantCase {
+			t.Errorf("A=%v classified as case %d, want %d", tt.a, c.Number, tt.wantCase)
+		}
+		if c.BestH != tt.wantH {
+			t.Errorf("A=%v case %d predicted H %d, want %d", tt.a, c.Number, c.BestH, tt.wantH)
+		}
+		// The brute-force optimum must agree with the analytical model.
+		sc := PaperScenario(s, tt.a, tt.a)
+		_, h, err := sc.Best()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != tt.wantH {
+			t.Errorf("A=%v brute-force H = %d, analytical %d", tt.a, h, tt.wantH)
+		}
+	}
+}
+
+// TestWithdrawCanBeatAbsorb demonstrates the paper's "less can be more":
+// for case-2 attacks, withdrawing at s1 serves strictly more clients than
+// absorbing in place.
+func TestWithdrawCanBeatAbsorb(t *testing.T) {
+	const s = 100.0
+	sc := PaperScenario(s, 80, 80)
+	// Absorb (default routing): s1 carries A0+A1=160 > 100: c0, c1 lost.
+	hAbsorb, err := sc.Happiness(sc.DefaultAssignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hAbsorb != 2 {
+		t.Fatalf("absorb H = %d, want 2", hAbsorb)
+	}
+	_, hBest, err := sc.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hBest != 4 {
+		t.Fatalf("best H = %d, want 4", hBest)
+	}
+	if hBest <= hAbsorb {
+		t.Error("withdrawing should beat absorbing for case-2 attacks")
+	}
+}
+
+// Property: Best never returns less happiness than any specific assignment
+// we can construct (spot-check optimality), and happiness is bounded by
+// total clients.
+func TestBestIsOptimalProperty(t *testing.T) {
+	f := func(a0Raw, a1Raw uint16) bool {
+		a0 := float64(a0Raw % 2000)
+		a1 := float64(a1Raw % 2000)
+		sc := PaperScenario(100, a0, a1)
+		_, best, err := sc.Best()
+		if err != nil {
+			return false
+		}
+		totalClients := 0
+		for _, g := range sc.Groups {
+			totalClients += g.Clients
+		}
+		if best < 0 || best > totalClients {
+			return false
+		}
+		// Enumerate a few fixed assignments; none may beat Best.
+		for _, assign := range [][]int{
+			{0, 0, 0, 0}, {0, 1, 0, 0}, {1, 1, 0, 0}, {2, 2, 1, 0}, {2, 1, 1, 0},
+		} {
+			h, err := sc.Happiness(assign)
+			if err != nil {
+				continue
+			}
+			if h > best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: happiness is monotone non-increasing in attack volume for the
+// optimal strategy (more attack can never help).
+func TestBestMonotoneInAttack(t *testing.T) {
+	prev := 5
+	for _, a := range []float64{0, 50, 80, 150, 300, 700, 1100, 1500, 5000} {
+		sc := PaperScenario(100, a, a)
+		_, h, err := sc.Best()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h > prev {
+			t.Errorf("A=%v best H=%d exceeds previous %d", a, h, prev)
+		}
+		prev = h
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+// Upstream adapts the completed simulation to the resolver package's view:
+// one query attempt from a client AS to one letter at one minute. Each
+// call draws a fresh deterministic coin, so retries within a minute are
+// independent trials (unlike Atlas probes, which are single-shot).
+type Upstream struct {
+	ev   *Evaluator
+	asn  topo.ASN
+	salt uint64
+	seq  uint64
+}
+
+// Upstream returns a resolver-facing query interface for a client AS.
+// The salt separates independent resolver populations.
+func (ev *Evaluator) Upstream(asn topo.ASN, salt int64) (*Upstream, error) {
+	if !ev.ran {
+		return nil, fmt.Errorf("core: Run() must complete before Upstream()")
+	}
+	if int(asn) < 0 || int(asn) >= ev.Graph.N() {
+		return nil, fmt.Errorf("core: unknown AS %d", asn)
+	}
+	return &Upstream{ev: ev, asn: asn, salt: uint64(salt)}, nil
+}
+
+// Query implements resolver.Upstream against the simulated event.
+func (u *Upstream) Query(letter byte, minute int) (bool, float64) {
+	ev := u.ev
+	if minute < 0 {
+		minute = 0
+	}
+	if minute >= ev.Cfg.Minutes {
+		minute = ev.Cfg.Minutes - 1
+	}
+	ls, ok := ev.letters[letter]
+	if !ok {
+		return false, 0
+	}
+	ep := ls.epochAt(minute)
+	site := ep.Table.SiteOf(u.asn)
+	if site < 0 {
+		return false, 0
+	}
+	s := ls.letter.Sites[site]
+	if !ls.hasRoute[site][minute] {
+		return false, 0
+	}
+	loss := float64(ls.loss[site][minute])
+	delay := float64(ls.delay[site][minute])
+	if !ev.sched.Targeted(letter) {
+		if ci, ok := ev.cityIdx[s.City.Code]; ok {
+			cl := collateralLoss(ev.cityExcess[ci][minute], collateralFullQPS)
+			if cl > 0.45 {
+				cl = 0.45
+			}
+			loss = 1 - (1-loss)*(1-cl)
+		}
+	}
+	u.seq++
+	coin := float64(mix64(u.salt^uint64(u.asn)<<28^uint64(letter)<<20^uint64(uint32(minute))^u.seq<<44)>>11) / float64(1<<53)
+	if coin < loss {
+		return false, 0
+	}
+	base := ev.cityRTT(ev.Graph.AS(u.asn).City.Code, s.City.Code)
+	rtt := base + delay
+	if rtt >= netsimTimeoutMs {
+		return false, 0
+	}
+	return true, rtt
+}
+
+// netsimTimeoutMs is the resolver-side per-attempt timeout, aligned with
+// resolver.AttemptTimeoutMs but kept independent so the packages do not
+// import each other.
+const netsimTimeoutMs = 1000

@@ -1,0 +1,248 @@
+package defense
+
+// The three policies: the two the paper observes in the wild and the
+// automated feedback controller it proposes as future work.
+
+// StaticAbsorb keeps every site announced regardless of load — the paper's
+// "good default policy" when attack size and location are unknown (§2.2).
+type StaticAbsorb struct{}
+
+// Name implements Controller.
+func (StaticAbsorb) Name() string { return "static-absorb" }
+
+// Decide implements Controller.
+func (StaticAbsorb) Decide(minute int, sites []SiteObs) []bool {
+	out := make([]bool, len(sites))
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// ThresholdWithdraw withdraws a site after Hold consecutive minutes above
+// Trigger utilization and re-announces after Cooldown — the emergent
+// behaviour of the withdraw-policy sites in §3.3.
+type ThresholdWithdraw struct {
+	Trigger  float64
+	Hold     int
+	Cooldown int
+
+	over []int
+	down []int
+}
+
+// Name implements Controller.
+func (c *ThresholdWithdraw) Name() string { return "threshold-withdraw" }
+
+// Decide implements Controller.
+func (c *ThresholdWithdraw) Decide(minute int, sites []SiteObs) []bool {
+	if c.over == nil {
+		c.over = make([]int, len(sites))
+		c.down = make([]int, len(sites))
+		for i := range c.down {
+			c.down[i] = -1
+		}
+	}
+	out := make([]bool, len(sites))
+	for i, s := range sites {
+		if !s.Announced {
+			if c.down[i] >= 0 && minute-c.down[i] >= c.Cooldown {
+				out[i] = true
+				c.down[i] = -1
+				c.over[i] = 0
+			}
+			continue
+		}
+		out[i] = true
+		util := 0.0
+		if s.CapacityQPS > 0 {
+			util = s.OfferedQPS / s.CapacityQPS
+		}
+		if util >= c.Trigger {
+			c.over[i]++
+			if c.over[i] >= c.Hold {
+				out[i] = false
+				c.down[i] = minute
+			}
+		} else {
+			c.over[i] = 0
+		}
+	}
+	return out
+}
+
+// Adaptive is the automated policy manager the paper sketches: it watches
+// the service-wide served fraction and hill-climbs one announcement change
+// at a time, keeping a change only when feedback shows improvement. It
+// needs none of the information operators lack (attack volume or origin) —
+// only its own sites' offered/served counters. Healing probes (re-announcing
+// a withdrawn site) back off exponentially while the attack persists, so
+// the controller does not oscillate mid-event.
+type Adaptive struct {
+	// Interval is how often (minutes) the controller considers a move.
+	Interval int
+	// MinGain is the served-fraction improvement required to keep a
+	// trial withdrawal.
+	MinGain float64
+
+	state        []bool
+	trialSites   []int // sites on trial (empty = no trial)
+	trialHeal    bool
+	trialStarted int
+	baselineFrac float64
+	lastDecision int
+	healWait     int
+	lastHeal     int
+}
+
+// Name implements Controller.
+func (c *Adaptive) Name() string { return "adaptive-feedback" }
+
+func servedFrac(sites []SiteObs) float64 {
+	var served, offered float64
+	for _, s := range sites {
+		served += s.ServedQPS
+		offered += s.OfferedQPS
+	}
+	if offered == 0 {
+		return 1
+	}
+	return served / offered
+}
+
+// mostOverloaded returns the announced site with the highest utilization
+// above 1, or -1.
+func mostOverloaded(sites []SiteObs, exclude []bool) int {
+	best, bestUtil := -1, 1.0
+	for i, s := range sites {
+		if !s.Announced || exclude[i] || s.CapacityQPS <= 0 {
+			continue
+		}
+		util := s.OfferedQPS / s.CapacityQPS
+		if util > bestUtil {
+			best, bestUtil = i, util
+		}
+	}
+	return best
+}
+
+// Decide implements Controller.
+func (c *Adaptive) Decide(minute int, sites []SiteObs) []bool {
+	if c.Interval < 1 {
+		c.Interval = 5
+	}
+	if c.state == nil {
+		c.state = make([]bool, len(sites))
+		for i := range c.state {
+			c.state[i] = true
+		}
+		c.healWait = 8 * c.Interval
+		c.lastHeal = -(1 << 20)
+	}
+	frac := servedFrac(sites)
+
+	switch {
+	case len(c.trialSites) > 0 && minute-c.trialStarted >= c.Interval:
+		// Judge the pending trial.
+		if c.trialHeal {
+			// A heal succeeds when service stays healthy with the site
+			// back up; otherwise re-withdraw and back off.
+			if frac >= c.baselineFrac-c.MinGain {
+				c.healWait = 8 * c.Interval
+			} else {
+				for _, site := range c.trialSites {
+					c.state[site] = false
+				}
+				if c.healWait < 1440 {
+					c.healWait *= 2
+				}
+			}
+		} else if frac < c.baselineFrac+c.MinGain {
+			// The withdrawals did not help yet. If the shed load merely
+			// moved onto other sites and overloaded them (the waterbed),
+			// grow the trial set and keep going; revert only when there
+			// is nothing left to shed.
+			announcedCount := 0
+			for _, up := range c.state {
+				if up {
+					announcedCount++
+				}
+			}
+			grown := false
+			for i, s := range sites {
+				if announcedCount <= 1 {
+					break
+				}
+				if !s.Announced || s.CapacityQPS <= 0 {
+					continue
+				}
+				if s.OfferedQPS/s.CapacityQPS >= 1.5 {
+					c.trialSites = append(c.trialSites, i)
+					c.state[i] = false
+					announcedCount--
+					grown = true
+				}
+			}
+			if grown {
+				c.trialStarted = minute
+				c.lastDecision = minute
+				break
+			}
+			for _, site := range c.trialSites {
+				c.state[site] = true
+			}
+		}
+		c.trialSites = c.trialSites[:0]
+		c.lastDecision = minute
+	case len(c.trialSites) == 0 && minute-c.lastDecision >= c.Interval && frac < 0.999:
+		// Service is degraded: trial-withdraw the overloaded sites as a
+		// set (their catchments may be better served elsewhere — §2.2
+		// cases 2-4; withdrawing only one site merely shifts the flood
+		// onto the next small site). Keep at least one site announced.
+		announcedCount := 0
+		for _, up := range c.state {
+			if up {
+				announcedCount++
+			}
+		}
+		const trialTrigger = 1.5
+		for i, s := range sites {
+			if announcedCount <= 1 {
+				break
+			}
+			if !s.Announced || s.CapacityQPS <= 0 {
+				continue
+			}
+			if s.OfferedQPS/s.CapacityQPS >= trialTrigger {
+				if len(c.trialSites) == 0 {
+					c.baselineFrac = frac
+					c.trialHeal = false
+					c.trialStarted = minute
+				}
+				c.trialSites = append(c.trialSites, i)
+				c.state[i] = false
+				announcedCount--
+			}
+		}
+		c.lastDecision = minute
+	case frac >= 0.999 && len(c.trialSites) == 0 && minute-c.lastHeal >= c.healWait:
+		// Service is healthy: probe re-announcing one withdrawn site so
+		// the deployment heals after the attack ends. Failed heals back
+		// off exponentially, so mid-event probing stays cheap.
+		for i, up := range c.state {
+			if !up {
+				c.baselineFrac = frac
+				c.trialSites = append(c.trialSites, i)
+				c.trialHeal = true
+				c.trialStarted = minute
+				c.state[i] = true
+				break
+			}
+		}
+		c.lastHeal = minute
+		c.lastDecision = minute
+	}
+	out := make([]bool, len(c.state))
+	copy(out, c.state)
+	return out
+}

@@ -1,0 +1,188 @@
+// Package defense implements and evaluates automated anycast defense
+// policies — the future work the paper proposes in §2.2 and §5: "more
+// careful, explicit, and automated management of policies may provide
+// stronger defenses to overload".
+//
+// A Controller observes per-site load each minute and decides which sites
+// keep announcing. The package provides the two baseline policies the
+// paper observes in the wild (static absorb, threshold withdraw) and an
+// adaptive feedback controller that hill-climbs on served legitimate
+// traffic. Evaluate runs a controller against a routed attack scenario and
+// scores it on the paper's "happiness" currency: the fraction of
+// legitimate queries served.
+package defense
+
+import (
+	"fmt"
+
+	"github.com/rootevent/anycastddos/internal/bgpsim"
+	"github.com/rootevent/anycastddos/internal/netsim"
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+// SiteObs is what a controller may observe about one site for one minute —
+// exactly the operator-visible signals the paper lists in §2.2 (offered
+// load is visible; attacker locations and other sites' catchments are not).
+type SiteObs struct {
+	Announced   bool
+	CapacityQPS float64
+	// OfferedQPS and ServedQPS are zero while withdrawn (no traffic
+	// arrives to measure).
+	OfferedQPS float64
+	ServedQPS  float64
+}
+
+// Controller decides, once per minute, which sites announce.
+type Controller interface {
+	Name() string
+	// Decide returns the desired announcement state per site. The
+	// returned slice must have len(sites) entries.
+	Decide(minute int, sites []SiteObs) []bool
+}
+
+// Scenario is a self-contained anycast deployment under attack.
+type Scenario struct {
+	Graph    *topo.Graph
+	Origins  []bgpsim.Origin // one per site (single uplink each)
+	Capacity []float64       // per site
+	// LegitPerAS and AttackPerAS are offered rates by source AS; attack
+	// rates apply only inside the event window.
+	LegitPerAS  map[topo.ASN]float64
+	AttackPerAS map[topo.ASN]float64
+	Minutes     int
+	EventStart  int
+	EventEnd    int
+	Netsim      netsim.Config
+}
+
+// Validate checks scenario invariants.
+func (sc *Scenario) Validate() error {
+	if sc.Graph == nil || len(sc.Origins) == 0 {
+		return fmt.Errorf("defense: scenario missing graph or origins")
+	}
+	if len(sc.Capacity) != len(sc.Origins) {
+		return fmt.Errorf("defense: %d capacities for %d origins", len(sc.Capacity), len(sc.Origins))
+	}
+	for i, c := range sc.Capacity {
+		if c <= 0 {
+			return fmt.Errorf("defense: site %d capacity %v", i, c)
+		}
+	}
+	if sc.Minutes <= 0 || sc.EventStart < 0 || sc.EventEnd > sc.Minutes || sc.EventStart >= sc.EventEnd {
+		return fmt.Errorf("defense: bad time window")
+	}
+	return nil
+}
+
+// Outcome scores one controller run.
+type Outcome struct {
+	Controller string
+	// ServedLegitFrac is served legitimate traffic / offered legitimate
+	// traffic over the event window (the continuous analog of §2.2's H).
+	ServedLegitFrac float64
+	// WorstMinuteFrac is the worst single-minute served fraction.
+	WorstMinuteFrac float64
+	// RouteChanges counts announcement flips (BGP churn cost).
+	RouteChanges int
+	// UnservedASMinutes counts (AS, minute) pairs with no route at all.
+	UnservedASMinutes int
+}
+
+// Evaluate runs the controller through the scenario.
+func Evaluate(sc *Scenario, ctrl Controller) (*Outcome, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(sc.Origins)
+	announced := make([]bool, n)
+	for i := range announced {
+		announced[i] = true
+	}
+	table := bgpsim.Compute(sc.Graph, sc.Origins, announced)
+
+	out := &Outcome{Controller: ctrl.Name()}
+	var servedSum, offeredSum float64
+	worst := 1.0
+
+	for minute := 0; minute < sc.Minutes; minute++ {
+		inEvent := minute >= sc.EventStart && minute < sc.EventEnd
+		// Per-site loads under current routing.
+		legit := make([]float64, n)
+		attackLoad := make([]float64, n)
+		var unrouted float64
+		for asn, rate := range sc.LegitPerAS {
+			if site := table.SiteOf(asn); site >= 0 {
+				legit[site] += rate
+			} else {
+				unrouted += rate
+				out.UnservedASMinutes++
+			}
+		}
+		if inEvent {
+			for asn, rate := range sc.AttackPerAS {
+				if site := table.SiteOf(asn); site >= 0 {
+					attackLoad[site] += rate
+				}
+			}
+		}
+		obs := make([]SiteObs, n)
+		var servedLegit, offeredLegit float64
+		offeredLegit = unrouted // unrouted legit counts as offered, unserved
+		for i := 0; i < n; i++ {
+			obs[i].Announced = announced[i]
+			obs[i].CapacityQPS = sc.Capacity[i]
+			if !announced[i] {
+				continue
+			}
+			st := netsim.Evaluate(sc.Capacity[i], netsim.Load{LegitQPS: legit[i], AttackQPS: attackLoad[i]}, sc.Netsim)
+			obs[i].OfferedQPS = st.OfferedQPS
+			obs[i].ServedQPS = st.ServedQPS
+			frac := 1.0
+			if st.OfferedQPS > 0 {
+				frac = st.ServedQPS / st.OfferedQPS
+			}
+			servedLegit += legit[i] * frac
+			offeredLegit += legit[i]
+		}
+		if offeredLegit > 0 {
+			frac := servedLegit / offeredLegit
+			servedSum += servedLegit
+			offeredSum += offeredLegit
+			if inEvent && frac < worst {
+				worst = frac
+			}
+		}
+
+		// Controller acts on this minute's observations.
+		want := ctrl.Decide(minute, obs)
+		if len(want) != n {
+			return nil, fmt.Errorf("defense: controller %q returned %d decisions for %d sites", ctrl.Name(), len(want), n)
+		}
+		changed := false
+		anyUp := false
+		for i := range want {
+			if want[i] {
+				anyUp = true
+			}
+		}
+		if !anyUp {
+			// Never allow a controller to withdraw the whole service.
+			want[0] = true
+		}
+		for i := range want {
+			if want[i] != announced[i] {
+				announced[i] = want[i]
+				changed = true
+				out.RouteChanges++
+			}
+		}
+		if changed {
+			table = bgpsim.Compute(sc.Graph, sc.Origins, announced)
+		}
+	}
+	if offeredSum > 0 {
+		out.ServedLegitFrac = servedSum / offeredSum
+	}
+	out.WorstMinuteFrac = worst
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/bgpsim"
+	"github.com/rootevent/anycastddos/internal/netsim"
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+// caseScenario builds the §2.2 thought experiment on a real routed graph:
+// two small sites and one big site, with the attack pinned into the small
+// sites' catchments.
+func caseScenario(t *testing.T, attackQPS float64) *Scenario {
+	t.Helper()
+	g, err := topo.Generate(topo.Config{Tier1s: 5, Tier2s: 40, Stubs: 500, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := g.StubASNs()
+	origins := []bgpsim.Origin{
+		{Site: 0, Host: stubs[10]},
+		{Site: 1, Host: stubs[200]},
+		{Site: 2, Host: stubs[400]},
+	}
+	capacity := []float64{100_000, 100_000, 1_000_000}
+	table := bgpsim.Compute(g, origins, nil)
+
+	legit := map[topo.ASN]float64{}
+	rng := rand.New(rand.NewSource(9))
+	for _, asn := range stubs {
+		legit[asn] = 10 + rng.Float64()*20
+	}
+	// Attack sources: stubs currently routed to the two small sites.
+	attackSrc := map[topo.ASN]float64{}
+	var inSmall []topo.ASN
+	for _, asn := range stubs {
+		if s := table.SiteOf(asn); s == 0 || s == 1 {
+			inSmall = append(inSmall, asn)
+		}
+	}
+	if len(inSmall) == 0 {
+		t.Fatal("no stubs in small-site catchments")
+	}
+	per := attackQPS / float64(len(inSmall))
+	for _, asn := range inSmall {
+		attackSrc[asn] = per
+	}
+	return &Scenario{
+		Graph: g, Origins: origins, Capacity: capacity,
+		LegitPerAS: legit, AttackPerAS: attackSrc,
+		Minutes: 120, EventStart: 20, EventEnd: 100,
+		Netsim: netsim.DefaultConfig(),
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	sc := caseScenario(t, 100_000)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *sc
+	bad.Capacity = bad.Capacity[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("capacity mismatch should fail")
+	}
+	bad2 := *sc
+	bad2.EventStart = 200
+	if err := bad2.Validate(); err == nil {
+		t.Error("bad window should fail")
+	}
+}
+
+func TestStaticAbsorbBaseline(t *testing.T) {
+	sc := caseScenario(t, 600_000)
+	out, err := Evaluate(sc, StaticAbsorb{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RouteChanges != 0 {
+		t.Errorf("absorb made %d route changes", out.RouteChanges)
+	}
+	// The small sites are overwhelmed: served fraction drops during the
+	// event but the big site's catchment is protected.
+	if out.ServedLegitFrac > 0.95 || out.ServedLegitFrac < 0.3 {
+		t.Errorf("absorb served fraction = %v", out.ServedLegitFrac)
+	}
+	if out.WorstMinuteFrac >= 0.9 {
+		t.Errorf("absorb worst minute = %v; event should bite", out.WorstMinuteFrac)
+	}
+}
+
+func TestThresholdWithdrawSheds(t *testing.T) {
+	sc := caseScenario(t, 600_000)
+	ctrl := &ThresholdWithdraw{Trigger: 2, Hold: 3, Cooldown: 30}
+	out, err := Evaluate(sc, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RouteChanges == 0 {
+		t.Error("threshold controller never withdrew")
+	}
+	// Shifting small-site catchments onto the big site should beat
+	// absorbing in place for this case-3-style attack (A < S3).
+	absorb, err := Evaluate(caseScenario(t, 600_000), StaticAbsorb{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ServedLegitFrac <= absorb.ServedLegitFrac {
+		t.Errorf("withdraw %v <= absorb %v; 'less can be more' should hold here",
+			out.ServedLegitFrac, absorb.ServedLegitFrac)
+	}
+}
+
+func TestAdaptiveBeatsOrMatchesStatics(t *testing.T) {
+	// The automated feedback policy of §5 should never do materially
+	// worse than the best static policy, for both a case-3 attack (where
+	// withdrawing wins) and an overwhelming case-5 attack (where
+	// absorbing wins).
+	for _, attackQPS := range []float64{600_000, 8_000_000} {
+		absorb, err := Evaluate(caseScenario(t, attackQPS), StaticAbsorb{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withdraw, err := Evaluate(caseScenario(t, attackQPS), &ThresholdWithdraw{Trigger: 2, Hold: 3, Cooldown: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptive, err := Evaluate(caseScenario(t, attackQPS), &Adaptive{Interval: 5, MinGain: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestStatic := absorb.ServedLegitFrac
+		if withdraw.ServedLegitFrac > bestStatic {
+			bestStatic = withdraw.ServedLegitFrac
+		}
+		if adaptive.ServedLegitFrac < bestStatic-0.08 {
+			t.Errorf("attack %v: adaptive %v well below best static %v (absorb %v withdraw %v)",
+				attackQPS, adaptive.ServedLegitFrac, bestStatic, absorb.ServedLegitFrac, withdraw.ServedLegitFrac)
+		}
+	}
+}
+
+func TestAdaptiveRevertsBadTrials(t *testing.T) {
+	// Under a case-5 attack (everything overwhelmed), withdrawing cannot
+	// help; the adaptive controller must revert its trials rather than
+	// spiral into withdrawals.
+	sc := caseScenario(t, 8_000_000)
+	out, err := Evaluate(sc, &Adaptive{Interval: 5, MinGain: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trials happen (changes > 0) but the system keeps serving.
+	if out.ServedLegitFrac < 0.1 {
+		t.Errorf("adaptive collapsed: %v", out.ServedLegitFrac)
+	}
+}
+
+func TestControllerNeverDarkensService(t *testing.T) {
+	// Even a pathological controller that wants everything down is
+	// overridden to keep one site announced.
+	sc := caseScenario(t, 600_000)
+	out, err := Evaluate(sc, blackoutController{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ServedLegitFrac == 0 {
+		t.Error("service went fully dark")
+	}
+}
+
+type blackoutController struct{}
+
+func (blackoutController) Name() string { return "blackout" }
+func (blackoutController) Decide(minute int, sites []SiteObs) []bool {
+	return make([]bool, len(sites))
+}
+
+func TestDecisionLengthChecked(t *testing.T) {
+	sc := caseScenario(t, 100_000)
+	if _, err := Evaluate(sc, shortController{}); err == nil {
+		t.Error("short decision slice should error")
+	}
+}
+
+type shortController struct{}
+
+func (shortController) Name() string { return "short" }
+func (shortController) Decide(minute int, sites []SiteObs) []bool {
+	return []bool{true}
+}

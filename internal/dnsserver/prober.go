@@ -1,0 +1,204 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/chaos"
+	"github.com/rootevent/anycastddos/internal/dnswire"
+)
+
+// Prober issues measurement queries the way an Atlas VP does: one UDP CHAOS
+// TXT query per probe, a fixed timeout, and identity parsing of the reply.
+type Prober struct {
+	// Timeout per probe attempt (Atlas uses 5 s).
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a timeout.
+	Retries int
+	// FallbackTCP retries over TCP when a UDP reply arrives truncated
+	// (the RRL slip path: TC=1 tells real clients to re-ask over a
+	// transport that cannot be spoofed).
+	FallbackTCP bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewProber creates a prober with the Atlas timeout and no retries.
+func NewProber(seed int64) *Prober {
+	return &Prober{Timeout: 5 * time.Second, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ProbeResult is the outcome of one probe.
+type ProbeResult struct {
+	Identity chaos.Identity
+	RawTXT   string
+	RTT      time.Duration
+	RCode    dnswire.RCode
+	// Matched reports whether the reply parsed as the probed letter's
+	// pattern; false suggests interception/hijack.
+	Matched bool
+	// Truncated reports a TC=1 reply (RRL slip); with FallbackTCP set the
+	// prober transparently re-asks over TCP instead of surfacing this.
+	Truncated bool
+	// ViaTCP reports that the final answer came over the TCP fallback.
+	ViaTCP bool
+}
+
+// Probe errors.
+var (
+	ErrTimeout  = errors.New("dnsserver: probe timeout")
+	ErrBadReply = errors.New("dnsserver: malformed reply")
+)
+
+// Probe sends a CHAOS hostname.bind TXT query for the given letter to addr.
+func (p *Prober) Probe(addr *net.UDPAddr, letter byte) (ProbeResult, error) {
+	var lastErr error
+	for attempt := 0; attempt <= p.Retries; attempt++ {
+		res, err := p.probeOnce(addr, letter)
+		if err == nil {
+			if res.Truncated && p.FallbackTCP {
+				if tcpRes, tcpErr := p.ProbeTCP(addr, letter); tcpErr == nil {
+					return tcpRes, nil
+				}
+			}
+			return res, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrTimeout) {
+			break
+		}
+	}
+	return ProbeResult{}, lastErr
+}
+
+// ProbeTCP performs the identity query over DNS-over-TCP.
+func (p *Prober) ProbeTCP(addr *net.UDPAddr, letter byte) (ProbeResult, error) {
+	d := net.Dialer{Timeout: p.Timeout}
+	conn, err := d.Dial("tcp", addr.String())
+	if err != nil {
+		return ProbeResult{}, fmt.Errorf("dnsserver: tcp dial: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(p.Timeout)); err != nil {
+		return ProbeResult{}, err
+	}
+	p.mu.Lock()
+	id := uint16(p.rng.Intn(1 << 16))
+	p.mu.Unlock()
+	start := time.Now()
+	resp, err := dnswire.ExchangeTCP(conn, dnswire.NewQuery(id, "hostname.bind", dnswire.TypeTXT, dnswire.ClassCHAOS))
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return ProbeResult{}, ErrTimeout
+		}
+		return ProbeResult{}, err
+	}
+	res := ProbeResult{RTT: time.Since(start), RCode: resp.Header.RCode, ViaTCP: true}
+	for _, rr := range resp.Answers {
+		if rr.Type != dnswire.TypeTXT {
+			continue
+		}
+		strs, terr := rr.TXT()
+		if terr != nil || len(strs) == 0 {
+			return res, ErrBadReply
+		}
+		res.RawTXT = strs[0]
+		if ident, perr := chaos.Parse(letter, strs[0]); perr == nil {
+			res.Identity = ident
+			res.Matched = true
+		}
+		break
+	}
+	return res, nil
+}
+
+func (p *Prober) probeOnce(addr *net.UDPAddr, letter byte) (ProbeResult, error) {
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return ProbeResult{}, fmt.Errorf("dnsserver: dial: %w", err)
+	}
+	defer conn.Close()
+
+	p.mu.Lock()
+	id := uint16(p.rng.Intn(1 << 16))
+	p.mu.Unlock()
+
+	q := dnswire.NewQuery(id, "hostname.bind", dnswire.TypeTXT, dnswire.ClassCHAOS)
+	pkt, err := q.Pack()
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	start := time.Now()
+	if _, err := conn.Write(pkt); err != nil {
+		return ProbeResult{}, fmt.Errorf("dnsserver: send: %w", err)
+	}
+	if err := conn.SetReadDeadline(start.Add(p.Timeout)); err != nil {
+		return ProbeResult{}, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return ProbeResult{}, ErrTimeout
+			}
+			return ProbeResult{}, err
+		}
+		rtt := time.Since(start)
+		resp, err := dnswire.Decode(buf[:n])
+		if err != nil || !resp.Header.Response {
+			continue // not our reply; keep reading until deadline
+		}
+		if resp.Header.ID != id {
+			continue
+		}
+		res := ProbeResult{RTT: rtt, RCode: resp.Header.RCode, Truncated: resp.Header.Truncated}
+		for _, rr := range resp.Answers {
+			if rr.Type != dnswire.TypeTXT {
+				continue
+			}
+			strs, err := rr.TXT()
+			if err != nil || len(strs) == 0 {
+				return res, ErrBadReply
+			}
+			res.RawTXT = strs[0]
+			if ident, perr := chaos.Parse(letter, strs[0]); perr == nil {
+				res.Identity = ident
+				res.Matched = true
+			}
+			return res, nil
+		}
+		return res, nil
+	}
+}
+
+// MapCatchment probes every address in addrs once and tallies the sites
+// observed — the CHAOS catchment-mapping methodology of §2.1, usable
+// against live in-process servers.
+func (p *Prober) MapCatchment(addrs []*net.UDPAddr, letter byte) (map[string]int, error) {
+	sites := make(map[string]int)
+	var firstErr error
+	for _, a := range addrs {
+		res, err := p.Probe(a, letter)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if res.Matched {
+			sites[res.Identity.SiteName()]++
+		}
+	}
+	if len(sites) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return sites, nil
+}

@@ -1,0 +1,249 @@
+// Package dnsserver implements a small authoritative UDP DNS server and a
+// measurement prober over real sockets, using only the standard library.
+//
+// Each Server instance plays the role of one server at one anycast site: it
+// answers the CHAOS identity queries (hostname.bind / id.server, RFC 4892)
+// with its letter's naming pattern, serves root-zone NS referrals for IN
+// queries, and applies Response Rate Limiting. Loss and delay injection
+// turn a healthy server into a "degraded absorber" for live experiments
+// that mirror the simulation (examples/livechaos).
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/chaos"
+	"github.com/rootevent/anycastddos/internal/dnswire"
+	"github.com/rootevent/anycastddos/internal/rrl"
+)
+
+// Config describes one server instance.
+type Config struct {
+	Letter byte
+	Site   string // IATA code
+	Server int    // 1-based server index within the site
+
+	// Addr is the UDP listen address; empty means 127.0.0.1:0 (ephemeral).
+	Addr string
+
+	// RRL optionally enables response rate limiting.
+	RRL *rrl.Config
+
+	// Impairment models an overloaded site: each request is dropped with
+	// probability LossProb and successful replies are delayed by Delay.
+	LossProb float64
+	Delay    time.Duration
+
+	// Seed drives the loss coin; impairment is deterministic per seed
+	// and request order.
+	Seed int64
+}
+
+// Server is a running UDP DNS responder.
+type Server struct {
+	cfg      Config
+	identity string
+	conn     *net.UDPConn
+	tcpLn    *net.TCPListener
+	limiter  *rrl.Limiter
+	start    time.Time
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	closed bool
+
+	wg sync.WaitGroup
+
+	// Stats, guarded by mu.
+	received, answered, droppedLoss, droppedRRL uint64
+}
+
+// Start creates the socket and begins serving.
+func Start(cfg Config) (*Server, error) {
+	identity, err := chaos.Format(cfg.Letter, cfg.Site, cfg.Server)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: %w", err)
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		identity: identity,
+		conn:     conn,
+		start:    time.Now(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.RRL != nil {
+		s.limiter, err = rrl.New(*cfg.RRL)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the bound UDP address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Identity returns the CHAOS identity string this server reports.
+func (s *Server) Identity() string { return s.identity }
+
+// Close stops the server and waits for the read loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	tcpLn := s.tcpLn
+	s.mu.Unlock()
+	err := s.conn.Close()
+	if tcpLn != nil {
+		tcpLn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Stats returns cumulative request accounting.
+func (s *Server) Stats() (received, answered, droppedLoss, droppedRRL uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received, s.answered, s.droppedLoss, s.droppedRRL
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 4096)
+	out := make([]byte, 0, 1024)
+	for {
+		n, src, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		s.mu.Lock()
+		s.received++
+		lossCoin := s.rng.Float64()
+		s.mu.Unlock()
+
+		if lossCoin < s.cfg.LossProb {
+			s.mu.Lock()
+			s.droppedLoss++
+			s.mu.Unlock()
+			continue
+		}
+		resp, ok := s.handle(buf[:n], src)
+		if !ok {
+			continue
+		}
+		if s.cfg.Delay > 0 {
+			// Delay inline: one blocked request delays the queue behind
+			// it, which is exactly how a saturated ingress behaves.
+			time.Sleep(s.cfg.Delay)
+		}
+		out = out[:0]
+		out, err = resp.Encode(out)
+		if err != nil {
+			continue
+		}
+		if _, err := s.conn.WriteToUDP(out, src); err == nil {
+			s.mu.Lock()
+			s.answered++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// handle parses one request and produces a response, applying RRL.
+func (s *Server) handle(pkt []byte, src *net.UDPAddr) (*dnswire.Message, bool) {
+	q, err := dnswire.Decode(pkt)
+	if err != nil || q.Header.Response || len(q.Questions) != 1 {
+		return nil, false
+	}
+	if s.limiter != nil {
+		ip4 := src.IP.To4()
+		var key uint32
+		if ip4 != nil {
+			key = uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])
+		}
+		switch s.limiter.Check(key, time.Since(s.start).Milliseconds()) {
+		case rrl.Drop:
+			s.mu.Lock()
+			s.droppedRRL++
+			s.mu.Unlock()
+			return nil, false
+		case rrl.Slip:
+			resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+			resp.Header.Truncated = true
+			return resp, true
+		}
+	}
+	return s.answer(q)
+}
+
+func (s *Server) answer(q *dnswire.Message) (*dnswire.Message, bool) {
+	question := q.Questions[0]
+	switch {
+	case question.Class == dnswire.ClassCHAOS && question.Type == dnswire.TypeTXT &&
+		(question.Name == "hostname.bind" || question.Name == "id.server"):
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+		resp.Header.Authoritative = true
+		txt, err := dnswire.MakeTXT(question.Name, dnswire.ClassCHAOS, 0, s.identity)
+		if err != nil {
+			return nil, false
+		}
+		resp.Answers = append(resp.Answers, txt)
+		return resp, true
+
+	case question.Class == dnswire.ClassINET && question.Name == "" && question.Type == dnswire.TypeNS:
+		// Root NS query: the priming response.
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+		resp.Header.Authoritative = true
+		for _, l := range chaos.Letters() {
+			ns, err := dnswire.MakeNS("", 3600000, fmt.Sprintf("%c.root-servers.net", l+('a'-'A')))
+			if err != nil {
+				return nil, false
+			}
+			resp.Answers = append(resp.Answers, ns)
+		}
+		return resp, true
+
+	case question.Class == dnswire.ClassINET:
+		// Everything else gets root-style treatment: a referral-shaped
+		// NXDOMAIN with the root SOA in authority (we host no TLDs).
+		resp := dnswire.NewResponse(q, dnswire.RCodeNXDomain)
+		soa, err := dnswire.MakeSOA("", 86400, dnswire.SOAData{
+			MName: "a.root-servers.net", RName: "nstld.verisign-grs.com",
+			Serial: 2015113001, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400,
+		})
+		if err != nil {
+			return nil, false
+		}
+		resp.Authority = append(resp.Authority, soa)
+		return resp, true
+	}
+	resp := dnswire.NewResponse(q, dnswire.RCodeRefused)
+	return resp, true
+}
+
+// ErrClosed is returned for operations on a closed server.
+var ErrClosed = errors.New("dnsserver: closed")

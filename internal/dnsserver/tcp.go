@@ -1,0 +1,84 @@
+package dnsserver
+
+import (
+	"net"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/dnswire"
+)
+
+// TCP support: each Server can also accept DNS over TCP on the same
+// address. TCP queries bypass RRL — a completed handshake proves the source
+// is not spoofed, which is exactly why RRL's truncated "slip" responses
+// push legitimate clients to retry over TCP (§2.3).
+
+// StartTCP begins accepting TCP connections on the same IP/port as the UDP
+// socket. It must be called at most once, before Close.
+func (s *Server) StartTCP() error {
+	addr := s.Addr()
+	ln, err := net.ListenTCP("tcp", &net.TCPAddr{IP: addr.IP, Port: addr.Port})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.tcpLn = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serveTCP(ln)
+	return nil
+}
+
+func (s *Server) serveTCP(ln *net.TCPListener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go s.handleTCPConn(conn)
+	}
+}
+
+// tcpIdleTimeout bounds how long an idle TCP client may hold a connection.
+const tcpIdleTimeout = 5 * time.Second
+
+func (s *Server) handleTCPConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	var buf []byte
+	out := make([]byte, 0, 1024)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
+			return
+		}
+		raw, err := dnswire.ReadTCP(conn, buf)
+		if err != nil {
+			return
+		}
+		buf = raw[:0]
+		s.mu.Lock()
+		s.received++
+		s.mu.Unlock()
+
+		q, err := dnswire.Decode(raw)
+		if err != nil || q.Header.Response || len(q.Questions) != 1 {
+			return
+		}
+		resp, ok := s.answer(q)
+		if !ok {
+			return
+		}
+		out = out[:0]
+		out, err = resp.Encode(out)
+		if err != nil {
+			return
+		}
+		if err := dnswire.WriteTCP(conn, out); err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.answered++
+		s.mu.Unlock()
+	}
+}

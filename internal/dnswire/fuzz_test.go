@@ -1,0 +1,65 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets guard the parsers against hostile packets. `go test` runs
+// the seed corpus; `go test -fuzz=FuzzDecode` explores further.
+
+func FuzzDecode(f *testing.F) {
+	q := NewQuery(1, "www.336901.com", TypeA, ClassINET)
+	pkt, _ := q.Pack()
+	f.Add(pkt)
+	resp := NewResponse(q, RCodeNoError)
+	txt, _ := MakeTXT("hostname.bind", ClassCHAOS, 0, "ns1.ams.k.ripe.net")
+	resp.Answers = append(resp.Answers, txt)
+	rpkt, _ := resp.Pack()
+	f.Add(rpkt)
+	f.Add([]byte{0xC0, 0x00})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode without panicking, and the
+		// re-encoded form must decode to the same sections.
+		out, err := m.Pack()
+		if err != nil {
+			// Names with >63-byte labels can decode (via pointers) but
+			// not re-encode; that's acceptable.
+			return
+		}
+		m2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if len(m2.Questions) != len(m.Questions) || len(m2.Answers) != len(m.Answers) {
+			t.Fatalf("section counts changed: %+v vs %+v", m2, m)
+		}
+	})
+}
+
+func FuzzDecodeName(f *testing.F) {
+	buf, _ := appendName(nil, "www.example.com", nil)
+	f.Add(buf, 0)
+	f.Add([]byte{0xC0, 0x02, 0xC0, 0x00}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		if off < 0 || off > len(data) {
+			return
+		}
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return
+		}
+		if n < off || n > len(data) {
+			t.Fatalf("consumed out of range: %d", n)
+		}
+		if len(name) > MaxName {
+			t.Fatalf("name too long: %d", len(name))
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Message-level wire errors.
+var (
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	ErrTrailingGarbage  = errors.New("dnswire: trailing bytes after message")
+	ErrTooManyRecords   = errors.New("dnswire: implausible record count")
+	ErrRDataTooLong     = errors.New("dnswire: rdata exceeds 65535 octets")
+)
+
+// Header is the fixed 12-byte DNS message header, unpacked.
+type Header struct {
+	ID                 uint16
+	Response           bool // QR
+	Opcode             Opcode
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	RCode              RCode
+}
+
+// Question is a single entry of the question section.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// RR is a resource record. RData holds the raw wire rdata; use the typed
+// accessors in rdata.go (or the Make* helpers) for structured access.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	RData []byte
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// flags packs the header booleans into the wire flags word.
+func (h Header) flags() uint16 {
+	var f uint16
+	if h.Response {
+		f |= flagQR
+	}
+	f |= uint16(h.Opcode&0xF) << 11
+	if h.Authoritative {
+		f |= flagAA
+	}
+	if h.Truncated {
+		f |= flagTC
+	}
+	if h.RecursionDesired {
+		f |= flagRD
+	}
+	if h.RecursionAvailable {
+		f |= flagRA
+	}
+	f |= uint16(h.RCode & 0xF)
+	return f
+}
+
+func headerFromFlags(id, f uint16) Header {
+	return Header{
+		ID:                 id,
+		Response:           f&flagQR != 0,
+		Opcode:             Opcode(f >> 11 & 0xF),
+		Authoritative:      f&flagAA != 0,
+		Truncated:          f&flagTC != 0,
+		RecursionDesired:   f&flagRD != 0,
+		RecursionAvailable: f&flagRA != 0,
+		RCode:              RCode(f & 0xF),
+	}
+}
+
+// Encode appends the wire encoding of m to buf and returns the extended
+// slice. Owner names are compressed against earlier names in the message.
+func (m *Message) Encode(buf []byte) ([]byte, error) {
+	base := len(buf)
+	var hdr [HeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:], m.Header.ID)
+	binary.BigEndian.PutUint16(hdr[2:], m.Header.flags())
+	binary.BigEndian.PutUint16(hdr[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(hdr[6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(hdr[8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(hdr[10:], uint16(len(m.Additional)))
+	buf = append(buf, hdr[:]...)
+
+	// Compression offsets are relative to the start of this message
+	// (base), so encoding works even when appending to a non-empty buffer.
+	c := newCompressor(base)
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name, c); err != nil {
+			return nil, fmt.Errorf("question %q: %w", q.Name, err)
+		}
+		buf = appendUint16(buf, uint16(q.Type))
+		buf = appendUint16(buf, uint16(q.Class))
+	}
+	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if buf, err = appendRR(buf, rr, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendUint16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func appendRR(buf []byte, rr RR, c *compressor) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, rr.Name, c); err != nil {
+		return nil, fmt.Errorf("rr %q: %w", rr.Name, err)
+	}
+	if len(rr.RData) > 0xFFFF {
+		return nil, ErrRDataTooLong
+	}
+	buf = appendUint16(buf, uint16(rr.Type))
+	buf = appendUint16(buf, uint16(rr.Class))
+	buf = append(buf, byte(rr.TTL>>24), byte(rr.TTL>>16), byte(rr.TTL>>8), byte(rr.TTL))
+	buf = appendUint16(buf, uint16(len(rr.RData)))
+	buf = append(buf, rr.RData...)
+	return buf, nil
+}
+
+// Pack encodes m into a fresh buffer.
+func (m *Message) Pack() ([]byte, error) { return m.Encode(nil) }
+
+// Decode parses a complete DNS message. It rejects trailing garbage; use
+// DecodePrefix for streams.
+func Decode(msg []byte) (*Message, error) {
+	m, n, err := DecodePrefix(msg)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(msg) {
+		return nil, ErrTrailingGarbage
+	}
+	return m, nil
+}
+
+// DecodePrefix parses one DNS message from the front of msg and returns it
+// along with the number of bytes consumed.
+func DecodePrefix(msg []byte) (*Message, int, error) {
+	if len(msg) < HeaderLen {
+		return nil, 0, ErrTruncatedMessage
+	}
+	id := binary.BigEndian.Uint16(msg[0:])
+	flags := binary.BigEndian.Uint16(msg[2:])
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	ns := int(binary.BigEndian.Uint16(msg[8:]))
+	ar := int(binary.BigEndian.Uint16(msg[10:]))
+	// Each question needs >= 5 bytes and each RR >= 11; reject counts the
+	// message cannot possibly hold to bound allocation on hostile input.
+	if qd*5+(an+ns+ar)*11 > len(msg)-HeaderLen {
+		return nil, 0, ErrTooManyRecords
+	}
+	m := &Message{Header: headerFromFlags(id, flags)}
+	off := HeaderLen
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		if q, off, err = decodeQuestion(msg, off); err != nil {
+			return nil, 0, fmt.Errorf("question %d: %w", i, err)
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []struct {
+		n    int
+		dest *[]RR
+		name string
+	}{{an, &m.Answers, "answer"}, {ns, &m.Authority, "authority"}, {ar, &m.Additional, "additional"}} {
+		for i := 0; i < sec.n; i++ {
+			var rr RR
+			if rr, off, err = decodeRR(msg, off); err != nil {
+				return nil, 0, fmt.Errorf("%s %d: %w", sec.name, i, err)
+			}
+			*sec.dest = append(*sec.dest, rr)
+		}
+	}
+	return m, off, nil
+}
+
+func decodeQuestion(msg []byte, off int) (Question, int, error) {
+	name, off, err := decodeName(msg, off)
+	if err != nil {
+		return Question{}, 0, err
+	}
+	if off+4 > len(msg) {
+		return Question{}, 0, ErrTruncatedMessage
+	}
+	q := Question{
+		Name:  name,
+		Type:  Type(binary.BigEndian.Uint16(msg[off:])),
+		Class: Class(binary.BigEndian.Uint16(msg[off+2:])),
+	}
+	return q, off + 4, nil
+}
+
+func decodeRR(msg []byte, off int) (RR, int, error) {
+	name, off, err := decodeName(msg, off)
+	if err != nil {
+		return RR{}, 0, err
+	}
+	if off+10 > len(msg) {
+		return RR{}, 0, ErrTruncatedMessage
+	}
+	rr := RR{
+		Name:  name,
+		Type:  Type(binary.BigEndian.Uint16(msg[off:])),
+		Class: Class(binary.BigEndian.Uint16(msg[off+2:])),
+		TTL:   binary.BigEndian.Uint32(msg[off+4:]),
+	}
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10
+	if off+rdlen > len(msg) {
+		return RR{}, 0, ErrTruncatedMessage
+	}
+	// Copy so the message buffer can be reused by the caller.
+	rr.RData = append([]byte(nil), msg[off:off+rdlen]...)
+	return rr, off + rdlen, nil
+}
+
+// NewQuery builds a standard query for (name, type, class) with the given
+// transaction ID.
+func NewQuery(id uint16, name string, t Type, cl Class) *Message {
+	return &Message{
+		Header:    Header{ID: id, Opcode: OpcodeQuery, RecursionDesired: false},
+		Questions: []Question{{Name: name, Type: t, Class: cl}},
+	}
+}
+
+// NewResponse builds the skeleton of a response to query q, echoing its ID
+// and question section.
+func NewResponse(q *Message, rcode RCode) *Message {
+	resp := &Message{
+		Header: Header{
+			ID:       q.Header.ID,
+			Response: true,
+			Opcode:   q.Header.Opcode,
+			RCode:    rcode,
+		},
+	}
+	resp.Questions = append(resp.Questions, q.Questions...)
+	return resp
+}

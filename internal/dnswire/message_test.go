@@ -1,0 +1,379 @@
+package dnswire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustPack(t *testing.T, m *Message) []byte {
+	t.Helper()
+	buf, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	return buf
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "www.336901.com", TypeA, ClassINET)
+	buf := mustPack(t, q)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Header.ID != 0x1234 || got.Header.Response {
+		t.Errorf("header = %+v", got.Header)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions = %d", len(got.Questions))
+	}
+	if q := got.Questions[0]; q.Name != "www.336901.com" || q.Type != TypeA || q.Class != ClassINET {
+		t.Errorf("question = %+v", q)
+	}
+}
+
+func TestChaosQueryWireSize(t *testing.T) {
+	// The standard CHAOS identity query: hostname.bind TXT CH.
+	q := NewQuery(1, "hostname.bind", TypeTXT, ClassCHAOS)
+	buf := mustPack(t, q)
+	// 12 header + 15 name + 4 = 31 bytes.
+	if len(buf) != 31 {
+		t.Errorf("CHAOS query = %d bytes, want 31", len(buf))
+	}
+}
+
+func TestAttackQuerySizeMatchesPaper(t *testing.T) {
+	// §3.1: RSSAC-002 reports query sizes in 16-byte bins and the paper
+	// identifies the attacks by unusually popular bins — the 32-to-47 B
+	// bin on Nov 30 (www.336901.com) and the 16-to-32 B bin on Dec 1
+	// (www.916yy.com). The two names differ by one byte and straddle a
+	// bin boundary; our codec must reproduce that placement exactly.
+	for _, tt := range []struct {
+		qname string
+		binLo int
+		binHi int // exclusive
+	}{
+		{"www.336901.com", 32, 48}, // Nov 30
+		{"www.916yy.com", 16, 32},  // Dec 1
+	} {
+		q := NewQuery(1, tt.qname, TypeA, ClassINET)
+		buf := mustPack(t, q)
+		if len(buf) < tt.binLo || len(buf) >= tt.binHi {
+			t.Errorf("%s: DNS message = %d bytes, want in [%d,%d)", tt.qname, len(buf), tt.binLo, tt.binHi)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	q := NewQuery(7, "example.com", TypeNS, ClassINET)
+	resp := NewResponse(q, RCodeNoError)
+	resp.Header.Authoritative = true
+	ns, err := MakeNS("example.com", 3600, "a.iana-servers.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Answers = append(resp.Answers, ns)
+	a, err := MakeA("a.iana-servers.net", 3600, net.IPv4(199, 43, 135, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Additional = append(resp.Additional, a)
+
+	buf := mustPack(t, resp)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Header.Response || !got.Header.Authoritative || got.Header.ID != 7 {
+		t.Errorf("header = %+v", got.Header)
+	}
+	if len(got.Answers) != 1 || len(got.Additional) != 1 {
+		t.Fatalf("sections = %d/%d/%d", len(got.Answers), len(got.Authority), len(got.Additional))
+	}
+	target, err := got.Answers[0].NS()
+	if err != nil || target != "a.iana-servers.net" {
+		t.Errorf("NS target = %q err %v", target, err)
+	}
+	ip, err := got.Additional[0].A()
+	if err != nil || !ip.Equal(net.IPv4(199, 43, 135, 53)) {
+		t.Errorf("A = %v err %v", ip, err)
+	}
+}
+
+func TestCompressionAcrossSections(t *testing.T) {
+	// Owner names repeated across sections must compress: a response with
+	// 13 root-server NS records should be far smaller than uncompressed.
+	q := NewQuery(1, "", TypeNS, ClassINET)
+	resp := NewResponse(q, RCodeNoError)
+	letters := "abcdefghijklm"
+	for _, l := range letters {
+		ns, err := MakeNS("", 3600000, string(l)+".root-servers.net")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Answers = append(resp.Answers, ns)
+	}
+	buf := mustPack(t, resp)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 13 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	// Root NS rdata is uncompressed in our encoder (18+2 bytes each), but
+	// owner names (root, 1 byte) are trivially small; whole message must
+	// fit classic UDP.
+	if len(buf) > MaxUDPPayload {
+		t.Errorf("root NS response = %d bytes, want <= 512", len(buf))
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	q := NewQuery(1, "example.com", TypeA, ClassINET)
+	buf := mustPack(t, q)
+	buf = append(buf, 0xAA)
+	if _, err := Decode(buf); !errors.Is(err, ErrTrailingGarbage) {
+		t.Errorf("err = %v, want ErrTrailingGarbage", err)
+	}
+	// DecodePrefix should succeed and report the consumed length.
+	m, n, err := DecodePrefix(buf)
+	if err != nil || n != len(buf)-1 || m.Questions[0].Name != "example.com" {
+		t.Errorf("DecodePrefix = %v,%d,%v", m, n, err)
+	}
+}
+
+func TestDecodeTruncatedHeader(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, ErrTruncatedMessage) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDecodeImplausibleCounts(t *testing.T) {
+	// Header claiming 65535 answers in a 12-byte message.
+	buf := make([]byte, HeaderLen)
+	buf[6] = 0xFF
+	buf[7] = 0xFF
+	if _, err := Decode(buf); !errors.Is(err, ErrTooManyRecords) {
+		t.Errorf("err = %v, want ErrTooManyRecords", err)
+	}
+}
+
+func TestTXTRoundTrip(t *testing.T) {
+	rr, err := MakeTXT("hostname.bind", ClassCHAOS, 0, "k1.ams-ix.k.ripe.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	strs, err := rr.TXT()
+	if err != nil || len(strs) != 1 || strs[0] != "k1.ams-ix.k.ripe.net" {
+		t.Errorf("TXT = %v err %v", strs, err)
+	}
+	// Multi-string TXT.
+	rr2, err := MakeTXT("x", ClassINET, 60, "one", "two", "three")
+	if err != nil {
+		t.Fatal(err)
+	}
+	strs2, _ := rr2.TXT()
+	if !reflect.DeepEqual(strs2, []string{"one", "two", "three"}) {
+		t.Errorf("multi TXT = %v", strs2)
+	}
+	// Oversized string rejected.
+	if _, err := MakeTXT("x", ClassINET, 0, string(bytes.Repeat([]byte{'a'}, 256))); err == nil {
+		t.Error("want error for 256-byte TXT string")
+	}
+	// Malformed rdata detected.
+	bad := RR{Type: TypeTXT, RData: []byte{5, 'a'}}
+	if _, err := bad.TXT(); !errors.Is(err, ErrBadRData) {
+		t.Errorf("bad TXT err = %v", err)
+	}
+}
+
+func TestSOARoundTrip(t *testing.T) {
+	d := SOAData{
+		MName: "a.root-servers.net", RName: "nstld.verisign-grs.com",
+		Serial: 2015113000, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400,
+	}
+	rr, err := MakeSOA("", 86400, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rr.SOA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Errorf("SOA = %+v, want %+v", got, d)
+	}
+}
+
+func TestAAAARoundTrip(t *testing.T) {
+	ip := net.ParseIP("2001:7fd::1") // K-Root
+	rr, err := MakeAAAA("k.root-servers.net", 3600, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rr.AAAA()
+	if err != nil || !got.Equal(ip) {
+		t.Errorf("AAAA = %v err %v", got, err)
+	}
+	if _, err := MakeAAAA("x", 0, net.IPv4(1, 2, 3, 4)); err == nil {
+		t.Error("MakeAAAA should reject IPv4")
+	}
+	if _, err := MakeA("x", 0, ip); err == nil {
+		t.Error("MakeA should reject IPv6")
+	}
+}
+
+func TestWrongTypeAccessors(t *testing.T) {
+	a, _ := MakeA("x", 0, net.IPv4(1, 2, 3, 4))
+	if _, err := a.TXT(); !errors.Is(err, ErrWrongType) {
+		t.Error("TXT on A record should fail")
+	}
+	if _, err := a.NS(); !errors.Is(err, ErrWrongType) {
+		t.Error("NS on A record should fail")
+	}
+	if _, err := a.SOA(); !errors.Is(err, ErrWrongType) {
+		t.Error("SOA on A record should fail")
+	}
+	if _, err := a.AAAA(); !errors.Is(err, ErrWrongType) {
+		t.Error("AAAA on A record should fail")
+	}
+	if _, err := a.OPTPayloadSize(); !errors.Is(err, ErrWrongType) {
+		t.Error("OPT accessor on A record should fail")
+	}
+}
+
+func TestOPT(t *testing.T) {
+	opt := MakeOPT(4096)
+	size, err := opt.OPTPayloadSize()
+	if err != nil || size != 4096 {
+		t.Errorf("OPT size = %d err %v", size, err)
+	}
+}
+
+func TestEncodeAppendsToExistingBuffer(t *testing.T) {
+	prefix := []byte("PREFIX")
+	q := NewQuery(9, "a.example.com", TypeA, ClassINET)
+	resp := NewResponse(q, RCodeNoError)
+	ns, _ := MakeNS("b.example.com", 60, "c.example.com")
+	resp.Answers = append(resp.Answers, ns)
+	buf, err := resp.Encode(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, prefix) {
+		t.Fatal("prefix destroyed")
+	}
+	got, err := Decode(buf[len(prefix):])
+	if err != nil {
+		t.Fatalf("decode after prefix: %v", err)
+	}
+	if got.Answers[0].Name != "b.example.com" {
+		t.Errorf("answer name = %q", got.Answers[0].Name)
+	}
+}
+
+func TestHeaderFlagsRoundTrip(t *testing.T) {
+	h := Header{
+		ID: 0xBEEF, Response: true, Opcode: OpcodeStatus, Authoritative: true,
+		Truncated: true, RecursionDesired: true, RecursionAvailable: true,
+		RCode: RCodeRefused,
+	}
+	m := &Message{Header: h}
+	buf := mustPack(t, m)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != h {
+		t.Errorf("header = %+v, want %+v", got.Header, h)
+	}
+}
+
+func TestTypeClassRCodeStrings(t *testing.T) {
+	if TypeTXT.String() != "TXT" || Type(999).String() != "TYPE999" {
+		t.Error("Type.String mismatch")
+	}
+	if ClassCHAOS.String() != "CH" || Class(9).String() != "CLASS9" {
+		t.Error("Class.String mismatch")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(15).String() != "RCODE15" {
+		t.Error("RCode.String mismatch")
+	}
+}
+
+// Property: messages with arbitrary well-formed questions round-trip.
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(id uint16, n uint8, tcode, ccode uint16) bool {
+		m := &Message{Header: Header{ID: id, Opcode: OpcodeQuery}}
+		labels := []string{"com", "net", "org", "example.com", "www.example.net"}
+		for i := 0; i < int(n%4); i++ {
+			m.Questions = append(m.Questions, Question{
+				Name:  labels[(int(id)+i)%len(labels)],
+				Type:  Type(tcode%260 + 1),
+				Class: Class(ccode%4 + 1),
+			})
+		}
+		buf, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Questions, m.Questions) || (len(m.Questions) == 0 && len(got.Questions) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary input.
+func TestDecodeNoPanic(t *testing.T) {
+	f := func(buf []byte) bool {
+		_, _ = Decode(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pack is deterministic.
+func TestPackDeterministic(t *testing.T) {
+	q := NewQuery(1, "www.example.com", TypeA, ClassINET)
+	b1 := mustPack(t, q)
+	b2 := mustPack(t, q)
+	if !bytes.Equal(b1, b2) {
+		t.Error("Pack not deterministic")
+	}
+}
+
+func BenchmarkPackQuery(b *testing.B) {
+	q := NewQuery(1, "www.336901.com", TypeA, ClassINET)
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = q.Encode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeQuery(b *testing.B) {
+	q := NewQuery(1, "www.336901.com", TypeA, ClassINET)
+	buf, _ := q.Pack()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

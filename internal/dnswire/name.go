@@ -1,0 +1,161 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Name-related wire errors.
+var (
+	ErrNameTooLong      = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong     = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel       = errors.New("dnswire: empty label inside name")
+	ErrBadPointer       = errors.New("dnswire: invalid compression pointer")
+	ErrPointerLoop      = errors.New("dnswire: compression pointer loop")
+	ErrTruncatedName    = errors.New("dnswire: truncated name")
+	ErrBadLabelByte     = errors.New("dnswire: reserved label type")
+	ErrNameNotCanonical = errors.New("dnswire: non-canonical name text")
+)
+
+// CheckName validates a presentation-format name ("www.example.com" or
+// "www.example.com." or "." for the root). It returns the canonical form
+// (lower case, trailing dot removed, root = "").
+func CheckName(name string) (string, error) {
+	if name == "." || name == "" {
+		return "", nil
+	}
+	name = strings.TrimSuffix(name, ".")
+	if strings.Contains(name, "..") || strings.HasPrefix(name, ".") {
+		return "", ErrEmptyLabel
+	}
+	total := 1 // trailing root label length octet
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 {
+			return "", ErrEmptyLabel
+		}
+		if len(label) > MaxLabel {
+			return "", ErrLabelTooLong
+		}
+		total += len(label) + 1
+	}
+	if total > MaxName {
+		return "", ErrNameTooLong
+	}
+	return strings.ToLower(name), nil
+}
+
+// compressor tracks name suffixes already emitted into a message so later
+// occurrences can be encoded as 2-byte pointers (RFC 1035 §4.1.4).
+// Offsets are stored relative to base, the index in the output buffer where
+// the current message's header starts.
+type compressor struct {
+	base    int
+	offsets map[string]int
+}
+
+func newCompressor(base int) *compressor {
+	return &compressor{base: base, offsets: make(map[string]int)}
+}
+
+// appendName appends the wire encoding of a canonical presentation name to
+// buf, compressing against (and registering into) c. c may be nil to
+// disable compression. The name must already be canonical (see CheckName).
+func appendName(buf []byte, name string, c *compressor) ([]byte, error) {
+	canonical, err := CheckName(name)
+	if err != nil {
+		return nil, err
+	}
+	rest := canonical
+	for rest != "" {
+		if c != nil {
+			if off, ok := c.offsets[rest]; ok {
+				return append(buf, byte(0xC0|off>>8), byte(off)), nil
+			}
+			// Pointers can only address the first 2^14 bytes of the message.
+			if off := len(buf) - c.base; off < 0x3FFF {
+				c.offsets[rest] = off
+			}
+		}
+		label := rest
+		if i := strings.IndexByte(rest, '.'); i >= 0 {
+			label, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// decodeName reads a possibly compressed name starting at off in msg. It
+// returns the canonical presentation name ("" for the root), and the offset
+// just past the name's first (uncompressed) encoding.
+func decodeName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	ptrBudget := len(msg) // strictly decreasing offsets would also work; a hop budget is simpler and robust
+	jumped := false
+	end := off
+	total := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		b := int(msg[off])
+		switch {
+		case b == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.ToLower(sb.String()), end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			target := (b&0x3F)<<8 | int(msg[off+1])
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			if target >= len(msg) {
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			off = target
+		case b&0xC0 != 0:
+			return "", 0, ErrBadLabelByte
+		default:
+			if off+1+b > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			total += b + 1
+			if total > MaxName {
+				return "", 0, ErrNameTooLong
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(msg[off+1 : off+1+b])
+			off += 1 + b
+			if !jumped {
+				end = off
+			}
+		}
+	}
+}
+
+// EncodedNameLen returns the wire length of name encoded without
+// compression. Useful for response-size accounting in the traffic model.
+func EncodedNameLen(name string) (int, error) {
+	canonical, err := CheckName(name)
+	if err != nil {
+		return 0, err
+	}
+	if canonical == "" {
+		return 1, nil
+	}
+	return len(canonical) + 2, nil
+}

@@ -1,0 +1,225 @@
+package dnswire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckName(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr error
+	}{
+		{".", "", nil},
+		{"", "", nil},
+		{"example.com", "example.com", nil},
+		{"example.com.", "example.com", nil},
+		{"WWW.Example.COM", "www.example.com", nil},
+		{"a..b", "", ErrEmptyLabel},
+		{".leading", "", ErrEmptyLabel},
+		{strings.Repeat("a", 64) + ".com", "", ErrLabelTooLong},
+		{strings.Repeat("abcdefgh.", 32) + "x", "", ErrNameTooLong},
+	}
+	for _, tt := range tests {
+		got, err := CheckName(tt.in)
+		if !errors.Is(err, tt.wantErr) {
+			t.Errorf("CheckName(%q) err = %v, want %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("CheckName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAppendDecodeNameRoundTrip(t *testing.T) {
+	names := []string{"", ".", "com", "example.com", "www.336901.com", "www.916yy.com",
+		"k.root-servers.net", "ns1.gb-lon.k.ripe.net", "hostname.bind"}
+	for _, name := range names {
+		buf, err := appendName(nil, name, nil)
+		if err != nil {
+			t.Fatalf("appendName(%q): %v", name, err)
+		}
+		got, n, err := decodeName(buf, 0)
+		if err != nil {
+			t.Fatalf("decodeName(%q): %v", name, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decodeName(%q) consumed %d of %d", name, n, len(buf))
+		}
+		want, _ := CheckName(name)
+		if got != want {
+			t.Errorf("round trip %q -> %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestNameCompressionSavesBytes(t *testing.T) {
+	c := newCompressor(0)
+	buf, err := appendName(nil, "a.example.com", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := len(buf)
+	buf, err = appendName(buf, "b.example.com", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second name should be 1-byte label "b" + 2-byte pointer = 4 bytes.
+	if second := len(buf) - first; second != 4 {
+		t.Errorf("compressed second name took %d bytes, want 4", second)
+	}
+	// Decode both names back.
+	n1, off, err := decodeName(buf, 0)
+	if err != nil || n1 != "a.example.com" {
+		t.Fatalf("first = %q err %v", n1, err)
+	}
+	n2, _, err := decodeName(buf, off)
+	if err != nil || n2 != "b.example.com" {
+		t.Fatalf("second = %q err %v", n2, err)
+	}
+}
+
+func TestExactDuplicateCompressesToPointer(t *testing.T) {
+	c := newCompressor(0)
+	buf, _ := appendName(nil, "example.com", c)
+	first := len(buf)
+	buf, _ = appendName(buf, "example.com", c)
+	if got := len(buf) - first; got != 2 {
+		t.Errorf("duplicate name took %d bytes, want 2 (pure pointer)", got)
+	}
+}
+
+func TestDecodeNamePointerLoop(t *testing.T) {
+	// Pointer pointing at itself.
+	buf := []byte{0xC0, 0x00}
+	if _, _, err := decodeName(buf, 0); err == nil {
+		t.Error("self-pointer should fail")
+	}
+	// Two pointers pointing at each other.
+	buf = []byte{0xC0, 0x02, 0xC0, 0x00}
+	if _, _, err := decodeName(buf, 0); err == nil {
+		t.Error("pointer cycle should fail")
+	}
+}
+
+func TestDecodeNameTruncated(t *testing.T) {
+	cases := [][]byte{
+		{},            // empty
+		{3, 'a', 'b'}, // label cut short
+		{0xC0},        // pointer cut short
+		{2, 'h', 'i'}, // missing terminator
+		{0xC0, 0x50},  // pointer beyond message
+		{0x80, 'x'},   // reserved label type
+	}
+	for i, buf := range cases {
+		if _, _, err := decodeName(buf, 0); err == nil {
+			t.Errorf("case %d: expected error for % x", i, buf)
+		}
+	}
+}
+
+func TestDecodeNameForwardPointerTotalLength(t *testing.T) {
+	// A name assembled through a pointer must still respect MaxName.
+	// Build a 200-byte chunk and a name that points into it twice the
+	// budget; simpler: craft name longer than 255 via pointer chain of
+	// long labels.
+	var buf []byte
+	// Five 63-byte labels = 320 bytes of name > 255.
+	label := bytes.Repeat([]byte{'a'}, 63)
+	for i := 0; i < 5; i++ {
+		buf = append(buf, 63)
+		buf = append(buf, label...)
+	}
+	buf = append(buf, 0)
+	if _, _, err := decodeName(buf, 0); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("err = %v, want ErrNameTooLong", err)
+	}
+}
+
+func TestEncodedNameLen(t *testing.T) {
+	tests := []struct {
+		name string
+		want int
+	}{
+		{".", 1},
+		{"", 1},
+		{"com", 5},
+		{"example.com", 13},
+	}
+	for _, tt := range tests {
+		got, err := EncodedNameLen(tt.name)
+		if err != nil || got != tt.want {
+			t.Errorf("EncodedNameLen(%q) = %d,%v want %d", tt.name, got, err, tt.want)
+		}
+		// Cross-check against actual encoding.
+		buf, _ := appendName(nil, tt.name, nil)
+		if len(buf) != tt.want {
+			t.Errorf("encoding of %q is %d bytes, EncodedNameLen says %d", tt.name, len(buf), tt.want)
+		}
+	}
+	if _, err := EncodedNameLen("bad..name"); err == nil {
+		t.Error("want error for invalid name")
+	}
+}
+
+// Property: any valid label sequence round-trips through encode/decode.
+func TestNameRoundTripProperty(t *testing.T) {
+	f := func(rawLabels [][]byte) bool {
+		var labels []string
+		total := 1
+		for _, rl := range rawLabels {
+			if len(rl) == 0 {
+				continue
+			}
+			if len(rl) > MaxLabel {
+				rl = rl[:MaxLabel]
+			}
+			label := make([]byte, 0, len(rl))
+			for _, b := range rl {
+				// Restrict to letters/digits/hyphen so the presentation
+				// format is unambiguous (no embedded dots).
+				switch {
+				case b >= 'a' && b <= 'z', b >= '0' && b <= '9', b == '-':
+					label = append(label, b)
+				case b >= 'A' && b <= 'Z':
+					label = append(label, b+'a'-'A')
+				}
+			}
+			if len(label) == 0 {
+				continue
+			}
+			if total+len(label)+1 > MaxName {
+				break
+			}
+			total += len(label) + 1
+			labels = append(labels, string(label))
+		}
+		name := strings.Join(labels, ".")
+		buf, err := appendName(nil, name, nil)
+		if err != nil {
+			return false
+		}
+		got, n, err := decodeName(buf, 0)
+		return err == nil && n == len(buf) && got == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decodeName never panics or reads out of bounds on arbitrary
+// bytes (fuzz-lite via quick).
+func TestDecodeNameNoPanic(t *testing.T) {
+	f := func(buf []byte, off uint8) bool {
+		_, _, _ = decodeName(buf, int(off))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

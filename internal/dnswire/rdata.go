@@ -1,0 +1,186 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// RData-level errors.
+var (
+	ErrBadRData   = errors.New("dnswire: malformed rdata")
+	ErrWrongType  = errors.New("dnswire: rdata accessor on wrong record type")
+	ErrBadAddress = errors.New("dnswire: bad IP address")
+)
+
+// MakeA builds an A record.
+func MakeA(name string, ttl uint32, ip net.IP) (RR, error) {
+	v4 := ip.To4()
+	if v4 == nil {
+		return RR{}, ErrBadAddress
+	}
+	return RR{Name: name, Type: TypeA, Class: ClassINET, TTL: ttl, RData: append([]byte(nil), v4...)}, nil
+}
+
+// MakeAAAA builds an AAAA record.
+func MakeAAAA(name string, ttl uint32, ip net.IP) (RR, error) {
+	v6 := ip.To16()
+	if v6 == nil || ip.To4() != nil {
+		return RR{}, ErrBadAddress
+	}
+	return RR{Name: name, Type: TypeAAAA, Class: ClassINET, TTL: ttl, RData: append([]byte(nil), v6...)}, nil
+}
+
+// A returns the address of an A record.
+func (rr RR) A() (net.IP, error) {
+	if rr.Type != TypeA {
+		return nil, ErrWrongType
+	}
+	if len(rr.RData) != 4 {
+		return nil, ErrBadRData
+	}
+	return net.IP(append([]byte(nil), rr.RData...)), nil
+}
+
+// AAAA returns the address of an AAAA record.
+func (rr RR) AAAA() (net.IP, error) {
+	if rr.Type != TypeAAAA {
+		return nil, ErrWrongType
+	}
+	if len(rr.RData) != 16 {
+		return nil, ErrBadRData
+	}
+	return net.IP(append([]byte(nil), rr.RData...)), nil
+}
+
+// MakeNS builds an NS record. The target name is stored uncompressed, which
+// is always legal on the wire.
+func MakeNS(name string, ttl uint32, target string) (RR, error) {
+	rd, err := appendName(nil, target, nil)
+	if err != nil {
+		return RR{}, err
+	}
+	return RR{Name: name, Type: TypeNS, Class: ClassINET, TTL: ttl, RData: rd}, nil
+}
+
+// NS returns the target of an NS record. Compression pointers inside rdata
+// cannot be resolved without the whole message; use Message-level decoding
+// (DecodeNSTarget) when parsing received packets.
+func (rr RR) NS() (string, error) {
+	if rr.Type != TypeNS {
+		return "", ErrWrongType
+	}
+	name, n, err := decodeName(rr.RData, 0)
+	if err != nil {
+		return "", err
+	}
+	if n != len(rr.RData) {
+		return "", ErrBadRData
+	}
+	return name, nil
+}
+
+// MakeTXT builds a TXT record from one or more character-strings. Each
+// string must fit in 255 bytes.
+func MakeTXT(name string, cl Class, ttl uint32, strs ...string) (RR, error) {
+	var rd []byte
+	for _, s := range strs {
+		if len(s) > 255 {
+			return RR{}, fmt.Errorf("dnswire: TXT string %d bytes: %w", len(s), ErrBadRData)
+		}
+		rd = append(rd, byte(len(s)))
+		rd = append(rd, s...)
+	}
+	return RR{Name: name, Type: TypeTXT, Class: cl, TTL: ttl, RData: rd}, nil
+}
+
+// TXT returns the character-strings of a TXT record.
+func (rr RR) TXT() ([]string, error) {
+	if rr.Type != TypeTXT {
+		return nil, ErrWrongType
+	}
+	var out []string
+	for off := 0; off < len(rr.RData); {
+		n := int(rr.RData[off])
+		off++
+		if off+n > len(rr.RData) {
+			return nil, ErrBadRData
+		}
+		out = append(out, string(rr.RData[off:off+n]))
+		off += n
+	}
+	return out, nil
+}
+
+// SOAData is the parsed rdata of a SOA record.
+type SOAData struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// MakeSOA builds a SOA record.
+func MakeSOA(name string, ttl uint32, d SOAData) (RR, error) {
+	rd, err := appendName(nil, d.MName, nil)
+	if err != nil {
+		return RR{}, err
+	}
+	if rd, err = appendName(rd, d.RName, nil); err != nil {
+		return RR{}, err
+	}
+	var nums [20]byte
+	binary.BigEndian.PutUint32(nums[0:], d.Serial)
+	binary.BigEndian.PutUint32(nums[4:], d.Refresh)
+	binary.BigEndian.PutUint32(nums[8:], d.Retry)
+	binary.BigEndian.PutUint32(nums[12:], d.Expire)
+	binary.BigEndian.PutUint32(nums[16:], d.Minimum)
+	rd = append(rd, nums[:]...)
+	return RR{Name: name, Type: TypeSOA, Class: ClassINET, TTL: ttl, RData: rd}, nil
+}
+
+// SOA parses the rdata of a SOA record (uncompressed names only, as
+// produced by MakeSOA).
+func (rr RR) SOA() (SOAData, error) {
+	if rr.Type != TypeSOA {
+		return SOAData{}, ErrWrongType
+	}
+	var d SOAData
+	mname, off, err := decodeName(rr.RData, 0)
+	if err != nil {
+		return SOAData{}, err
+	}
+	rname, off, err := decodeName(rr.RData, off)
+	if err != nil {
+		return SOAData{}, err
+	}
+	if off+20 != len(rr.RData) {
+		return SOAData{}, ErrBadRData
+	}
+	d.MName, d.RName = mname, rname
+	d.Serial = binary.BigEndian.Uint32(rr.RData[off:])
+	d.Refresh = binary.BigEndian.Uint32(rr.RData[off+4:])
+	d.Retry = binary.BigEndian.Uint32(rr.RData[off+8:])
+	d.Expire = binary.BigEndian.Uint32(rr.RData[off+12:])
+	d.Minimum = binary.BigEndian.Uint32(rr.RData[off+16:])
+	return d, nil
+}
+
+// MakeOPT builds the EDNS(0) OPT pseudo-RR advertising the given UDP
+// payload size (RFC 6891). The owner name is the root and TTL carries the
+// extended rcode/flags (zero here).
+func MakeOPT(udpSize uint16) RR {
+	return RR{Name: "", Type: TypeOPT, Class: Class(udpSize)}
+}
+
+// OPTPayloadSize returns the advertised UDP payload size from an OPT RR.
+func (rr RR) OPTPayloadSize() (uint16, error) {
+	if rr.Type != TypeOPT {
+		return 0, ErrWrongType
+	}
+	return uint16(rr.Class), nil
+}

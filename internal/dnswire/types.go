@@ -1,0 +1,150 @@
+// Package dnswire implements a DNS message codec on the wire format of
+// RFC 1035 (with the EDNS(0) OPT pseudo-RR of RFC 6891), using only the
+// standard library.
+//
+// The package is the foundation of the measurement side of this repository:
+// the CHAOS-class TXT queries used to identify anycast sites and servers
+// (hostname.bind / id.server, RFC 4892) are ordinary DNS messages, and both
+// the in-process UDP root servers (internal/dnsserver) and the Atlas-style
+// prober exchange packets produced and parsed here.
+//
+// Design follows the layered-decoder style of gopacket: decoding is
+// non-allocating where practical, parses lazily held rdata into typed
+// structures on demand, and never trusts lengths from the wire without
+// bounds checks. Name compression is fully supported on decode and applied
+// to owner names on encode.
+package dnswire
+
+import "fmt"
+
+// Type is a DNS resource record type.
+type Type uint16
+
+// Record types used by the root service and our measurement tooling.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+	TypeANY   Type = 255
+)
+
+// String returns the conventional mnemonic for the type.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeOPT:
+		return "OPT"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class.
+type Class uint16
+
+// Classes: Internet, and CHAOS which carries server-identity queries.
+const (
+	ClassINET  Class = 1
+	ClassCHAOS Class = 3
+	ClassANY   Class = 255
+)
+
+// String returns the conventional mnemonic for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassCHAOS:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes (RFC 1035 §4.1.1).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String returns the conventional mnemonic for the rcode.
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// Opcode is a DNS operation code.
+type Opcode uint8
+
+// Opcodes. Only standard queries appear in this system.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeStatus Opcode = 2
+)
+
+// Header flag bits within the 16-bit flags word (RFC 1035 §4.1.1).
+const (
+	flagQR uint16 = 1 << 15
+	flagAA uint16 = 1 << 10
+	flagTC uint16 = 1 << 9
+	flagRD uint16 = 1 << 8
+	flagRA uint16 = 1 << 7
+)
+
+// HeaderLen is the fixed size of the DNS message header in bytes.
+const HeaderLen = 12
+
+// MaxUDPPayload is the classic maximum DNS-over-UDP payload without EDNS.
+const MaxUDPPayload = 512
+
+// MaxName is the maximum length of a wire-format domain name.
+const MaxName = 255
+
+// MaxLabel is the maximum length of a single label.
+const MaxLabel = 63

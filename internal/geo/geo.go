@@ -1,0 +1,254 @@
+// Package geo models Internet geography for the anycast simulator.
+//
+// Sites, vantage points, and autonomous systems are all placed in cities
+// identified by IATA airport codes (the same convention the paper uses to
+// name anycast sites, e.g. K-AMS for K-Root's Amsterdam site). The package
+// provides great-circle distances and a simple propagation-delay model that
+// converts distance into a baseline round-trip time.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Region groups cities into coarse continental regions. The RIPE Atlas VP
+// population is strongly Europe-biased (§2.4.1 of the paper); regions let the
+// measurement layer reproduce that bias.
+type Region int
+
+// Continental regions used for population weighting.
+const (
+	Europe Region = iota
+	NorthAmerica
+	SouthAmerica
+	Asia
+	Oceania
+	Africa
+	MiddleEast
+	numRegions
+)
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case Europe:
+		return "Europe"
+	case NorthAmerica:
+		return "North America"
+	case SouthAmerica:
+		return "South America"
+	case Asia:
+		return "Asia"
+	case Oceania:
+		return "Oceania"
+	case Africa:
+		return "Africa"
+	case MiddleEast:
+		return "Middle East"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// City is a physical location identified by its IATA airport code.
+type City struct {
+	Code   string // three-letter IATA code, upper case
+	Name   string
+	Region Region
+	Lat    float64 // degrees, north positive
+	Lon    float64 // degrees, east positive
+}
+
+// cities is the built-in city table. It covers every airport code that
+// appears in the paper's figures (the E-, K-, and D-Root site lists) plus
+// enough additional cities to host the remaining letters' sites.
+var cities = []City{
+	// Europe
+	{"AMS", "Amsterdam", Europe, 52.31, 4.76},
+	{"LHR", "London", Europe, 51.47, -0.45},
+	{"FRA", "Frankfurt", Europe, 50.03, 8.57},
+	{"CDG", "Paris", Europe, 49.01, 2.55},
+	{"VIE", "Vienna", Europe, 48.11, 16.57},
+	{"ZRH", "Zurich", Europe, 47.46, 8.55},
+	{"GVA", "Geneva", Europe, 46.24, 6.11},
+	{"MIL", "Milan", Europe, 45.63, 8.72},
+	{"TRN", "Turin", Europe, 45.20, 7.65},
+	{"WAW", "Warsaw", Europe, 52.17, 20.97},
+	{"POZ", "Poznan", Europe, 52.42, 16.83},
+	{"PRG", "Prague", Europe, 50.10, 14.26},
+	{"BUD", "Budapest", Europe, 47.44, 19.26},
+	{"BEG", "Belgrade", Europe, 44.82, 20.31},
+	{"ATH", "Athens", Europe, 37.94, 23.94},
+	{"HEL", "Helsinki", Europe, 60.32, 24.96},
+	{"RIX", "Riga", Europe, 56.92, 23.97},
+	{"LED", "St. Petersburg", Europe, 59.80, 30.26},
+	{"OVB", "Novosibirsk", Europe, 55.01, 82.65},
+	{"KBP", "Kyiv", Europe, 50.34, 30.89},
+	{"BER", "Berlin", Europe, 52.36, 13.50},
+	{"MAN", "Manchester", Europe, 53.35, -2.28},
+	{"LBA", "Leeds", Europe, 53.87, -1.66},
+	{"REY", "Reykjavik", Europe, 64.13, -21.94},
+	{"BCN", "Barcelona", Europe, 41.30, 2.08},
+	{"MAD", "Madrid", Europe, 40.47, -3.56},
+	{"LIS", "Lisbon", Europe, 38.77, -9.13},
+	{"DUB", "Dublin", Europe, 53.42, -6.27},
+	{"BRU", "Brussels", Europe, 50.90, 4.48},
+	{"CPH", "Copenhagen", Europe, 55.62, 12.66},
+	{"OSL", "Oslo", Europe, 60.19, 11.10},
+	{"ARN", "Stockholm", Europe, 59.65, 17.92},
+	{"ARC", "Arctic (Kiruna)", Europe, 67.82, 20.34},
+	{"PLX", "Semey", Europe, 50.35, 80.23},
+	{"KAE", "Kake (Karesuando)", Europe, 68.44, 22.48},
+	{"AVN", "Avignon", Europe, 43.91, 4.90},
+	{"NLV", "Mykolaiv", Europe, 46.94, 31.92},
+	// North America
+	{"IAD", "Washington DC", NorthAmerica, 38.94, -77.46},
+	{"LGA", "New York", NorthAmerica, 40.78, -73.87},
+	{"ORD", "Chicago", NorthAmerica, 41.98, -87.90},
+	{"ATL", "Atlanta", NorthAmerica, 33.64, -84.43},
+	{"MIA", "Miami", NorthAmerica, 25.79, -80.29},
+	{"SEA", "Seattle", NorthAmerica, 47.45, -122.31},
+	{"PAO", "Palo Alto", NorthAmerica, 37.46, -122.12},
+	{"SNA", "Santa Ana", NorthAmerica, 33.68, -117.87},
+	{"BUR", "Burbank", NorthAmerica, 34.20, -118.36},
+	{"SAN", "San Diego", NorthAmerica, 32.73, -117.19},
+	{"BWI", "Baltimore", NorthAmerica, 39.18, -76.67},
+	{"MKC", "Kansas City", NorthAmerica, 39.12, -94.59},
+	{"RNO", "Reno", NorthAmerica, 39.50, -119.77},
+	{"YYZ", "Toronto", NorthAmerica, 43.68, -79.63},
+	{"YVR", "Vancouver", NorthAmerica, 49.19, -123.18},
+	{"DFW", "Dallas", NorthAmerica, 32.90, -97.04},
+	{"DEN", "Denver", NorthAmerica, 39.86, -104.67},
+	{"LAX", "Los Angeles", NorthAmerica, 33.94, -118.41},
+	{"MEX", "Mexico City", NorthAmerica, 19.44, -99.07},
+	// South America
+	{"GRU", "Sao Paulo", SouthAmerica, -23.44, -46.47},
+	{"EZE", "Buenos Aires", SouthAmerica, -34.82, -58.54},
+	{"SCL", "Santiago", SouthAmerica, -33.39, -70.79},
+	{"BOG", "Bogota", SouthAmerica, 4.70, -74.15},
+	// Asia
+	{"NRT", "Tokyo", Asia, 35.76, 140.39},
+	{"HKG", "Hong Kong", Asia, 22.31, 113.91},
+	{"SIN", "Singapore", Asia, 1.36, 103.99},
+	{"QPG", "Singapore Paya Lebar", Asia, 1.36, 103.91},
+	{"ICN", "Seoul", Asia, 37.46, 126.44},
+	{"PEK", "Beijing", Asia, 40.08, 116.58},
+	{"BOM", "Mumbai", Asia, 19.09, 72.87},
+	{"DEL", "Delhi", Asia, 28.57, 77.10},
+	{"TPE", "Taipei", Asia, 25.08, 121.23},
+	{"KUL", "Kuala Lumpur", Asia, 2.75, 101.71},
+	{"BKK", "Bangkok", Asia, 13.69, 100.75},
+	// Oceania
+	{"SYD", "Sydney", Oceania, -33.95, 151.18},
+	{"PER", "Perth", Oceania, -31.94, 115.97},
+	{"AKL", "Auckland", Oceania, -37.01, 174.79},
+	{"BNE", "Brisbane", Oceania, -27.38, 153.12},
+	// Africa
+	{"JNB", "Johannesburg", Africa, -26.14, 28.25},
+	{"NBO", "Nairobi", Africa, -1.32, 36.93},
+	{"KGL", "Kigali", Africa, -1.97, 30.14},
+	{"LAD", "Luanda", Africa, -8.86, 13.23},
+	{"CAI", "Cairo", Africa, 30.12, 31.41},
+	// Middle East
+	{"DXB", "Dubai", MiddleEast, 25.25, 55.36},
+	{"THR", "Tehran", MiddleEast, 35.69, 51.31},
+	{"DOH", "Doha", MiddleEast, 25.27, 51.61},
+	{"TLV", "Tel Aviv", MiddleEast, 32.01, 34.89},
+	{"ABO", "Aboisso", Africa, 5.46, -3.23},
+}
+
+var cityIndex = func() map[string]int {
+	m := make(map[string]int, len(cities))
+	for i, c := range cities {
+		if _, dup := m[c.Code]; dup {
+			panic("geo: duplicate city code " + c.Code)
+		}
+		m[c.Code] = i
+	}
+	return m
+}()
+
+// Lookup returns the city for an IATA code.
+func Lookup(code string) (City, bool) {
+	i, ok := cityIndex[code]
+	if !ok {
+		return City{}, false
+	}
+	return cities[i], true
+}
+
+// MustLookup is Lookup for codes known at compile time; it panics on a
+// missing code so configuration errors surface immediately.
+func MustLookup(code string) City {
+	c, ok := Lookup(code)
+	if !ok {
+		panic("geo: unknown city code " + code)
+	}
+	return c
+}
+
+// Cities returns all built-in cities, sorted by code. The returned slice is
+// a copy and may be modified by the caller.
+func Cities() []City {
+	out := make([]City, len(cities))
+	copy(out, cities)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// CitiesIn returns the built-in cities in a region, sorted by code.
+func CitiesIn(r Region) []City {
+	var out []City
+	for _, c := range cities {
+		if c.Region == r {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle distance between two cities using the
+// haversine formula.
+func DistanceKm(a, b City) float64 {
+	const degToRad = math.Pi / 180
+	lat1, lon1 := a.Lat*degToRad, a.Lon*degToRad
+	lat2, lon2 := b.Lat*degToRad, b.Lon*degToRad
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// RTTModel converts geographic distance into baseline round-trip time.
+//
+// Light in fiber travels at roughly 2/3 c ≈ 200 km/ms one way; real paths
+// are longer than great circles and add per-hop overheads, captured by
+// PathStretch and FixedMs.
+type RTTModel struct {
+	// PathStretch multiplies the great-circle distance to account for
+	// fiber routes not following great circles. Typical values: 1.5–2.5.
+	PathStretch float64
+	// FixedMs is added to every RTT for last-mile, serialization, and
+	// processing overheads.
+	FixedMs float64
+}
+
+// DefaultRTTModel is calibrated so intra-European RTTs land in the 10–40 ms
+// range and trans-continental RTTs in the 100–300 ms range, matching the
+// per-letter baselines in Figure 4 of the paper.
+var DefaultRTTModel = RTTModel{PathStretch: 2.0, FixedMs: 4}
+
+// RTTMs returns the modeled baseline round-trip time between two cities in
+// milliseconds (without any queueing delay; congestion is modeled separately
+// by the netsim package).
+func (m RTTModel) RTTMs(a, b City) float64 {
+	const kmPerMsOneWay = 200.0
+	oneWay := DistanceKm(a, b) * m.PathStretch / kmPerMsOneWay
+	return 2*oneWay + m.FixedMs
+}

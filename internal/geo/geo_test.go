@@ -1,0 +1,168 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupKnownCodes(t *testing.T) {
+	// Every site code used in the paper's figures must resolve.
+	codes := []string{
+		"AMS", "LHR", "FRA", "CDG", "VIE", "ZRH", "GVA", "MIL", "TRN",
+		"WAW", "POZ", "PRG", "BUD", "BEG", "ATH", "HEL", "RIX", "LED",
+		"OVB", "KBP", "BER", "MAN", "LBA", "REY", "ARC", "PLX", "KAE",
+		"AVN", "NLV", "IAD", "LGA", "ORD", "ATL", "MIA", "SEA", "PAO",
+		"SNA", "BUR", "SAN", "MKC", "RNO", "NRT", "SIN", "QPG", "DEL",
+		"SYD", "PER", "AKL", "BNE", "KGL", "LAD", "DXB", "THR", "DOH",
+		"ABO",
+	}
+	for _, code := range codes {
+		if _, ok := Lookup(code); !ok {
+			t.Errorf("Lookup(%q) failed; city table incomplete", code)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("ZZZ"); ok {
+		t.Error("Lookup(ZZZ) should fail")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup on unknown code did not panic")
+		}
+	}()
+	MustLookup("NOPE")
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	ams := MustLookup("AMS")
+	nrt := MustLookup("NRT")
+	d1 := DistanceKm(ams, nrt)
+	d2 := DistanceKm(nrt, ams)
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("distance not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestDistanceZero(t *testing.T) {
+	ams := MustLookup("AMS")
+	if d := DistanceKm(ams, ams); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+}
+
+func TestDistanceKnownPairs(t *testing.T) {
+	// Sanity-check against real-world great-circle distances (±10%).
+	tests := []struct {
+		a, b string
+		km   float64
+	}{
+		{"AMS", "LHR", 370},
+		{"AMS", "FRA", 365},
+		{"LHR", "LGA", 5550},
+		{"AMS", "NRT", 9300},
+		{"LHR", "SYD", 17000},
+	}
+	for _, tt := range tests {
+		d := DistanceKm(MustLookup(tt.a), MustLookup(tt.b))
+		if d < tt.km*0.9 || d > tt.km*1.1 {
+			t.Errorf("DistanceKm(%s,%s) = %.0f, want ~%.0f", tt.a, tt.b, d, tt.km)
+		}
+	}
+}
+
+func TestRTTRanges(t *testing.T) {
+	m := DefaultRTTModel
+	intra := m.RTTMs(MustLookup("AMS"), MustLookup("FRA"))
+	if intra < 4 || intra > 40 {
+		t.Errorf("intra-Europe RTT = %.1f ms, want 4-40", intra)
+	}
+	trans := m.RTTMs(MustLookup("AMS"), MustLookup("NRT"))
+	if trans < 100 || trans > 350 {
+		t.Errorf("AMS-NRT RTT = %.1f ms, want 100-350", trans)
+	}
+	self := m.RTTMs(MustLookup("AMS"), MustLookup("AMS"))
+	if self != m.FixedMs {
+		t.Errorf("self RTT = %v, want FixedMs %v", self, m.FixedMs)
+	}
+}
+
+func TestCitiesSortedAndComplete(t *testing.T) {
+	all := Cities()
+	if len(all) < 50 {
+		t.Fatalf("city table has %d entries, want >= 50", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Code >= all[i].Code {
+			t.Fatalf("Cities() not sorted at %d: %s >= %s", i, all[i-1].Code, all[i].Code)
+		}
+	}
+	// Mutating the returned slice must not affect the package table.
+	all[0].Code = "???"
+	if _, ok := Lookup(Cities()[0].Code); !ok {
+		t.Error("Cities() leaked internal state")
+	}
+}
+
+func TestCitiesInRegion(t *testing.T) {
+	eu := CitiesIn(Europe)
+	if len(eu) < 20 {
+		t.Errorf("Europe has %d cities, want >= 20 (Atlas bias needs density)", len(eu))
+	}
+	for _, c := range eu {
+		if c.Region != Europe {
+			t.Errorf("CitiesIn(Europe) returned %s in %s", c.Code, c.Region)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for r := Region(0); r < numRegions; r++ {
+		if s := r.String(); s == "" || s[0] == 'R' && s != "Region(0)" {
+			// all named regions have proper names
+			t.Errorf("Region(%d).String() = %q", int(r), s)
+		}
+	}
+	if Region(99).String() != "Region(99)" {
+		t.Error("unknown region String mismatch")
+	}
+}
+
+// Property: triangle inequality holds for the distance metric across random
+// triples of cities from the table.
+func TestDistanceTriangleInequality(t *testing.T) {
+	all := Cities()
+	f := func(i, j, k uint16) bool {
+		a := all[int(i)%len(all)]
+		b := all[int(j)%len(all)]
+		c := all[int(k)%len(all)]
+		// Allow a tiny epsilon for floating point.
+		return DistanceKm(a, c) <= DistanceKm(a, b)+DistanceKm(b, c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RTT is monotone in distance for a fixed model.
+func TestRTTMonotoneInDistance(t *testing.T) {
+	all := Cities()
+	m := DefaultRTTModel
+	f := func(i, j, k uint16) bool {
+		a := all[int(i)%len(all)]
+		b := all[int(j)%len(all)]
+		c := all[int(k)%len(all)]
+		if DistanceKm(a, b) <= DistanceKm(a, c) {
+			return m.RTTMs(a, b) <= m.RTTMs(a, c)+1e-9
+		}
+		return m.RTTMs(a, b) >= m.RTTMs(a, c)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

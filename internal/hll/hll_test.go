@@ -1,0 +1,191 @@
+package hll
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPrecisionBounds(t *testing.T) {
+	for _, p := range []uint8{0, 1, 3, 17, 64} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) should fail", p)
+		}
+	}
+	for _, p := range []uint8{4, 10, 14, 16} {
+		s, err := New(p)
+		if err != nil {
+			t.Errorf("New(%d): %v", p, err)
+		}
+		if s.Precision() != p {
+			t.Errorf("Precision = %d, want %d", s.Precision(), p)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(2) did not panic")
+		}
+	}()
+	MustNew(2)
+}
+
+func TestEmptyEstimate(t *testing.T) {
+	s := MustNew(12)
+	if got := s.Count(); got != 0 {
+		t.Errorf("empty Count = %d, want 0", got)
+	}
+}
+
+func TestSmallExactish(t *testing.T) {
+	// Linear counting regime: small cardinalities should be near exact.
+	s := MustNew(12)
+	for i := 0; i < 100; i++ {
+		s.AddString(fmt.Sprintf("item-%d", i))
+	}
+	got := s.Estimate()
+	if math.Abs(got-100) > 5 {
+		t.Errorf("estimate = %v, want ~100", got)
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := MustNew(12)
+	for i := 0; i < 1000; i++ {
+		s.AddString("same-item")
+	}
+	if got := s.Count(); got != 1 {
+		t.Errorf("Count = %d, want 1", got)
+	}
+}
+
+func TestLargeCardinalityAccuracy(t *testing.T) {
+	s := MustNew(14) // ~0.8% standard error
+	const n = 500000
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		s.AddUint32(rng.Uint32())
+	}
+	// Random uint32 draws collide slightly; expected distinct ≈ n - n²/2³³.
+	expected := float64(n) - float64(n)*float64(n)/math.Pow(2, 33)
+	got := s.Estimate()
+	relErr := math.Abs(got-expected) / expected
+	if relErr > 0.03 {
+		t.Errorf("estimate = %.0f, expected ~%.0f (rel err %.3f > 0.03)", got, expected, relErr)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b, u := MustNew(12), MustNew(12), MustNew(12)
+	for i := 0; i < 3000; i++ {
+		item := fmt.Sprintf("a-%d", i)
+		a.AddString(item)
+		u.AddString(item)
+	}
+	for i := 0; i < 3000; i++ {
+		item := fmt.Sprintf("b-%d", i)
+		b.AddString(item)
+		u.AddString(item)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != u.Estimate() {
+		t.Errorf("merged estimate %v != union estimate %v", a.Estimate(), u.Estimate())
+	}
+}
+
+func TestMergePrecisionMismatch(t *testing.T) {
+	a, b := MustNew(10), MustNew(12)
+	if err := a.Merge(b); err == nil {
+		t.Error("want precision mismatch error")
+	}
+}
+
+func TestResetAndClone(t *testing.T) {
+	s := MustNew(10)
+	for i := 0; i < 100; i++ {
+		s.AddString(fmt.Sprintf("x%d", i))
+	}
+	c := s.Clone()
+	s.Reset()
+	if s.Count() != 0 {
+		t.Errorf("after Reset, Count = %d", s.Count())
+	}
+	if c.Count() == 0 {
+		t.Error("Clone was affected by Reset")
+	}
+	c.AddString("new")
+	// Clone independence in the other direction: s stays empty.
+	if s.Count() != 0 {
+		t.Error("Clone shares registers with source")
+	}
+}
+
+// Property: adding more items never decreases the estimate (monotonicity).
+func TestMonotonicity(t *testing.T) {
+	f := func(items []uint32) bool {
+		s := MustNew(10)
+		prev := 0.0
+		for _, it := range items {
+			s.AddUint32(it)
+			e := s.Estimate()
+			if e+1e-9 < prev {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge is commutative in its estimate.
+func TestMergeCommutative(t *testing.T) {
+	f := func(xs, ys []uint32) bool {
+		a1, b1 := MustNew(10), MustNew(10)
+		a2, b2 := MustNew(10), MustNew(10)
+		for _, x := range xs {
+			a1.AddUint32(x)
+			a2.AddUint32(x)
+		}
+		for _, y := range ys {
+			b1.AddUint32(y)
+			b2.AddUint32(y)
+		}
+		if err := a1.Merge(b1); err != nil {
+			return false
+		}
+		if err := b2.Merge(a2); err != nil {
+			return false
+		}
+		return a1.Estimate() == b2.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddUint32(b *testing.B) {
+	s := MustNew(14)
+	for i := 0; i < b.N; i++ {
+		s.AddUint32(uint32(i * 2654435761))
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	s := MustNew(14)
+	for i := 0; i < 100000; i++ {
+		s.AddUint32(uint32(i * 2654435761))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Estimate()
+	}
+}

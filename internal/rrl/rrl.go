@@ -1,0 +1,240 @@
+// Package rrl implements DNS Response Rate Limiting in the style deployed
+// on authoritative servers (Vixie's DNS RRL).
+//
+// RRL limits identical responses to the same client network, defeating both
+// reflection-amplification and — as during the Nov 2015 events — repeated
+// fixed-name floods: Verisign reported RRL identified duplicate queries and
+// dropped about 60% of responses at A- and J-Root (§2.3). Sources are
+// aggregated by prefix, each prefix holds a token bucket, and a configurable
+// fraction of suppressed answers "slip" through as truncated replies so
+// that legitimate clients behind an abused prefix can retry over TCP.
+//
+// The limiter is deterministic: callers supply the clock, so simulation and
+// live servers share the same code path.
+package rrl
+
+import (
+	"errors"
+	"sync"
+)
+
+// Action is the limiter's verdict for one response.
+type Action uint8
+
+// Verdicts.
+const (
+	// Send means the response goes out normally.
+	Send Action = iota
+	// Drop means the response is suppressed entirely.
+	Drop
+	// Slip means a minimal truncated (TC=1) response is sent so genuine
+	// clients can fail over to TCP.
+	Slip
+)
+
+// String returns the action name.
+func (a Action) String() string {
+	switch a {
+	case Send:
+		return "send"
+	case Drop:
+		return "drop"
+	case Slip:
+		return "slip"
+	default:
+		return "unknown"
+	}
+}
+
+// Config controls the limiter.
+type Config struct {
+	// ResponsesPerSecond is the sustained per-prefix response budget.
+	ResponsesPerSecond float64
+	// Burst is the bucket depth in responses; defaults to 4x the
+	// per-second rate when zero.
+	Burst float64
+	// SlipRatio sends every Nth suppressed response as truncated. 0
+	// disables slip; 2 matches common operator practice.
+	SlipRatio int
+	// PrefixBits aggregates IPv4 sources by this prefix length
+	// (default 24, the RRL convention).
+	PrefixBits int
+	// MaxEntries caps the state table; idle entries are evicted first.
+	// Defaults to 65536.
+	MaxEntries int
+	// IdleTimeoutMs evicts buckets untouched for this long (default 10s).
+	IdleTimeoutMs int64
+}
+
+// DefaultConfig matches common authoritative-server settings.
+func DefaultConfig() Config {
+	return Config{ResponsesPerSecond: 5, SlipRatio: 2, PrefixBits: 24}
+}
+
+func (c *Config) fillDefaults() error {
+	if c.ResponsesPerSecond <= 0 {
+		return errors.New("rrl: ResponsesPerSecond must be positive")
+	}
+	if c.Burst == 0 {
+		c.Burst = 4 * c.ResponsesPerSecond
+	}
+	if c.Burst <= 0 {
+		return errors.New("rrl: Burst must be positive")
+	}
+	if c.PrefixBits == 0 {
+		c.PrefixBits = 24
+	}
+	if c.PrefixBits < 1 || c.PrefixBits > 32 {
+		return errors.New("rrl: PrefixBits must be in [1,32]")
+	}
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 65536
+	}
+	if c.MaxEntries < 1 {
+		return errors.New("rrl: MaxEntries must be positive")
+	}
+	if c.IdleTimeoutMs == 0 {
+		c.IdleTimeoutMs = 10_000
+	}
+	return nil
+}
+
+type bucket struct {
+	tokens     float64
+	lastMs     int64
+	suppressed int // counts suppressed responses for slip accounting
+}
+
+// Limiter rate-limits responses per source prefix. It is safe for
+// concurrent use.
+type Limiter struct {
+	cfg  Config
+	mask uint32
+
+	mu      sync.Mutex
+	buckets map[uint32]*bucket
+	// lastSweepMs rate-limits full idle sweeps so spoofed floods of
+	// unique sources cannot force an O(table) scan on every insert.
+	lastSweepMs int64
+
+	// Stats, guarded by mu.
+	sent, dropped, slipped uint64
+}
+
+// New creates a limiter. The zero Config is invalid; start from
+// DefaultConfig.
+func New(cfg Config) (*Limiter, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Limiter{
+		cfg:     cfg,
+		mask:    ^uint32(0) << (32 - cfg.PrefixBits),
+		buckets: make(map[uint32]*bucket),
+	}, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *Limiter {
+	l, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Check decides the fate of one response to src at the given time.
+func (l *Limiter) Check(src uint32, nowMs int64) Action {
+	key := src & l.mask
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= l.cfg.MaxEntries {
+			l.evictLocked(nowMs)
+		}
+		b = &bucket{tokens: l.cfg.Burst, lastMs: nowMs}
+		l.buckets[key] = b
+	}
+	// Refill.
+	if nowMs > b.lastMs {
+		b.tokens += float64(nowMs-b.lastMs) / 1000 * l.cfg.ResponsesPerSecond
+		if b.tokens > l.cfg.Burst {
+			b.tokens = l.cfg.Burst
+		}
+		b.lastMs = nowMs
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.sent++
+		return Send
+	}
+	b.suppressed++
+	if l.cfg.SlipRatio > 0 && b.suppressed%l.cfg.SlipRatio == 0 {
+		l.slipped++
+		return Slip
+	}
+	l.dropped++
+	return Drop
+}
+
+// evictLocked makes room in the state table. A full sweep of idle buckets
+// runs at most once per idle-timeout interval; between sweeps (the steady
+// state under a spoofed flood of unique sources, where nothing is ever
+// idle) a single arbitrary entry is dropped instead, keeping Check O(1)
+// amortized.
+func (l *Limiter) evictLocked(nowMs int64) {
+	if nowMs-l.lastSweepMs >= l.cfg.IdleTimeoutMs {
+		l.lastSweepMs = nowMs
+		evicted := false
+		for k, b := range l.buckets {
+			if nowMs-b.lastMs > l.cfg.IdleTimeoutMs {
+				delete(l.buckets, k)
+				evicted = true
+			}
+		}
+		if evicted {
+			return
+		}
+	}
+	for k := range l.buckets {
+		delete(l.buckets, k)
+		break
+	}
+}
+
+// Stats reports cumulative verdict counts.
+func (l *Limiter) Stats() (sent, dropped, slipped uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent, l.dropped, l.slipped
+}
+
+// Entries returns the current number of tracked prefixes.
+func (l *Limiter) Entries() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// SuppressionModel provides the statistical counterpart used by the
+// full-scale event simulation, where individual packets are not generated.
+// Given the fraction of traffic that is a fixed-name flood from repeated
+// sources, it returns the fraction of *responses* suppressed, calibrated to
+// the ~60% suppression Verisign reported.
+func SuppressionModel(floodFraction float64) float64 {
+	if floodFraction <= 0 {
+		return 0
+	}
+	if floodFraction > 1 {
+		floodFraction = 1
+	}
+	// Heavy repeated sources are almost fully suppressed once buckets
+	// drain; random-spoofed sources mostly evade RRL (each prefix sends
+	// only a handful of queries). With the event's 0.68 heavy-source
+	// share, a fully flooded letter suppresses ~60% of responses.
+	const heavyShare = 0.68
+	const heavySuppression = 0.88
+	return floodFraction * heavyShare * heavySuppression
+}

@@ -1,0 +1,208 @@
+package rssac
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/rootevent/anycastddos/internal/stats"
+)
+
+// RSSAC-002 reports are published as per-day YAML documents by each
+// operator. This file implements a writer and a strict parser for the
+// subset of the v3 schema this system uses (traffic-volume, unique-sources,
+// traffic-sizes), so simulated reports round-trip through the same file
+// format researchers scrape from operators — and so the Table 3 pipeline
+// can, in principle, consume real published files.
+
+// FormatVersion is the emitted rssac002 schema version.
+const FormatVersion = "rssac002v3"
+
+// ErrBadReportFile marks unparseable input.
+var ErrBadReportFile = errors.New("rssac: malformed report file")
+
+// serviceName returns the letter's service identity.
+func serviceName(letter byte) string {
+	return fmt.Sprintf("%c.root-servers.net", letter+('a'-'A'))
+}
+
+// letterFromService parses "k.root-servers.net" back to 'K'.
+func letterFromService(s string) (byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || !strings.HasSuffix(s, ".root-servers.net") {
+		return 0, fmt.Errorf("%w: service %q", ErrBadReportFile, s)
+	}
+	c := s[0]
+	if c < 'a' || c > 'm' {
+		return 0, fmt.Errorf("%w: service letter %q", ErrBadReportFile, s)
+	}
+	return c - ('a' - 'A'), nil
+}
+
+// WriteReport emits one daily report as an RSSAC-002-style YAML document.
+func WriteReport(w io.Writer, r *Report) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "version: %s\n", FormatVersion)
+	fmt.Fprintf(bw, "service: %s\n", serviceName(r.Letter))
+	fmt.Fprintf(bw, "start-period: %sT00:00:00Z\n", r.DayString())
+	fmt.Fprintf(bw, "metric: traffic-volume\n")
+	fmt.Fprintf(bw, "dns-udp-queries-received-ipv4: %.0f\n", r.Queries)
+	fmt.Fprintf(bw, "dns-udp-responses-sent-ipv4: %.0f\n", r.Responses)
+	fmt.Fprintf(bw, "metric: unique-sources\n")
+	fmt.Fprintf(bw, "num-sources-ipv4: %.0f\n", r.UniqueSources)
+	fmt.Fprintf(bw, "metric: traffic-sizes\n")
+	writeSizes := func(key string, h *histogramView) {
+		fmt.Fprintf(bw, "%s:\n", key)
+		for _, b := range h.bins {
+			fmt.Fprintf(bw, "  %d-%d: %d\n", b.lo, b.hi, b.count)
+		}
+	}
+	writeSizes("udp-request-sizes", newHistogramView(r.QuerySizes))
+	writeSizes("udp-response-sizes", newHistogramView(r.ResponseSizes))
+	return bw.Flush()
+}
+
+// histogramView lists the non-empty bins of a size histogram in order.
+type histogramView struct {
+	bins []sizeBin
+}
+
+type sizeBin struct {
+	lo, hi int
+	count  int64
+}
+
+func newHistogramView(h *stats.Histogram) *histogramView {
+	v := &histogramView{}
+	if h == nil {
+		return v
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.BinRange(i)
+		v.bins = append(v.bins, sizeBin{lo: int(lo), hi: int(hi) - 1, count: c})
+	}
+	sort.Slice(v.bins, func(a, b int) bool { return v.bins[a].lo < v.bins[b].lo })
+	return v
+}
+
+// ParseReport reads one document written by WriteReport.
+func ParseReport(r io.Reader) (*Report, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	rep := &Report{
+		QuerySizes:    newSizeHistogram(),
+		ResponseSizes: newSizeHistogram(),
+	}
+	var curSizes *stats.Histogram
+	seenVersion := false
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indented := strings.HasPrefix(line, "  ")
+		key, val, found := strings.Cut(trimmed, ":")
+		if !found {
+			return nil, fmt.Errorf("%w: line %q", ErrBadReportFile, line)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if indented {
+			// A size bin under the current sizes section.
+			if curSizes == nil {
+				return nil, fmt.Errorf("%w: orphan size bin %q", ErrBadReportFile, line)
+			}
+			loStr, hiStr, ok := strings.Cut(key, "-")
+			if !ok {
+				return nil, fmt.Errorf("%w: size bin %q", ErrBadReportFile, key)
+			}
+			lo, err1 := strconv.Atoi(loStr)
+			hi, err2 := strconv.Atoi(hiStr)
+			count, err3 := strconv.ParseInt(val, 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil || hi < lo || count < 0 {
+				return nil, fmt.Errorf("%w: size bin %q: %q", ErrBadReportFile, key, val)
+			}
+			curSizes.Add(float64(lo), count)
+			continue
+		}
+		switch key {
+		case "version":
+			if val != FormatVersion {
+				return nil, fmt.Errorf("%w: version %q", ErrBadReportFile, val)
+			}
+			seenVersion = true
+		case "service":
+			letter, err := letterFromService(val)
+			if err != nil {
+				return nil, err
+			}
+			rep.Letter = letter
+		case "start-period":
+			day, err := dayFromDate(strings.TrimSuffix(val, "T00:00:00Z"))
+			if err != nil {
+				return nil, err
+			}
+			rep.Day = day
+		case "metric":
+			curSizes = nil
+		case "dns-udp-queries-received-ipv4":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("%w: queries %q", ErrBadReportFile, val)
+			}
+			rep.Queries = f
+		case "dns-udp-responses-sent-ipv4":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("%w: responses %q", ErrBadReportFile, val)
+			}
+			rep.Responses = f
+		case "num-sources-ipv4":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("%w: sources %q", ErrBadReportFile, val)
+			}
+			rep.UniqueSources = f
+		case "udp-request-sizes":
+			curSizes = rep.QuerySizes
+		case "udp-response-sizes":
+			curSizes = rep.ResponseSizes
+		default:
+			return nil, fmt.Errorf("%w: unknown key %q", ErrBadReportFile, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenVersion || rep.Letter == 0 {
+		return nil, fmt.Errorf("%w: missing version or service", ErrBadReportFile)
+	}
+	return rep, nil
+}
+
+// dayFromDate inverts DayName for the two event days and the generic form.
+func dayFromDate(s string) (int, error) {
+	switch s {
+	case "2015-11-30":
+		return 0, nil
+	case "2015-12-01":
+		return 1, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "2015-11-30+"); ok {
+		if days, ok := strings.CutSuffix(rest, "d"); ok {
+			n, err := strconv.Atoi(days)
+			if err == nil && n >= 0 {
+				return n, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: start-period %q", ErrBadReportFile, s)
+}

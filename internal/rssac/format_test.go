@@ -1,0 +1,135 @@
+package rssac
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/attack"
+)
+
+func eventDayReport(t *testing.T) *Report {
+	t.Helper()
+	a := NewAccumulator(2, attack.DefaultSourceMix)
+	ev := attack.Events()[0]
+	for m := 0; m < 2880; m++ {
+		rec := Minute{Minute: m, LegitServedQPS: 40_000, ResponseQPS: 40_000}
+		if ev.Contains(m) {
+			rec.AttackServedQPS = 2_000_000
+			rec.AttackQueryBytes = ev.QueryBytes
+			rec.AttackResponseBytes = ev.ResponseBytes
+			rec.ResponseQPS = 40_000 + 2_000_000*0.4
+		}
+		a.Record('K', rec)
+	}
+	return a.Finalize('K')[0]
+}
+
+func TestReportFormatRoundTrip(t *testing.T) {
+	orig := eventDayReport(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"version: rssac002v3",
+		"service: k.root-servers.net",
+		"start-period: 2015-11-30T00:00:00Z",
+		"dns-udp-queries-received-ipv4:",
+		"num-sources-ipv4:",
+		"udp-request-sizes:",
+		"  32-47:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("document missing %q:\n%s", want, text)
+		}
+	}
+	got, err := ParseReport(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Letter != 'K' || got.Day != 0 {
+		t.Errorf("identity = %c/%d", got.Letter, got.Day)
+	}
+	// Counts round-trip to integer precision.
+	if math.Abs(got.Queries-math.Round(orig.Queries)) > 1 {
+		t.Errorf("queries %v vs %v", got.Queries, orig.Queries)
+	}
+	if math.Abs(got.Responses-math.Round(orig.Responses)) > 1 {
+		t.Errorf("responses %v vs %v", got.Responses, orig.Responses)
+	}
+	if math.Abs(got.UniqueSources-math.Round(orig.UniqueSources)) > 1 {
+		t.Errorf("sources %v vs %v", got.UniqueSources, orig.UniqueSources)
+	}
+	// Size histograms round-trip bin-for-bin.
+	for i, c := range orig.QuerySizes.Counts {
+		if got.QuerySizes.Counts[i] != c {
+			t.Fatalf("query bin %d: %d vs %d", i, got.QuerySizes.Counts[i], c)
+		}
+	}
+	for i, c := range orig.ResponseSizes.Counts {
+		if got.ResponseSizes.Counts[i] != c {
+			t.Fatalf("response bin %d: %d vs %d", i, got.ResponseSizes.Counts[i], c)
+		}
+	}
+	// The attack signature (ArgMax bin) survives the file format.
+	if got.QuerySizes.ArgMax() != orig.QuerySizes.ArgMax() {
+		t.Error("attack bin lost in round trip")
+	}
+}
+
+func TestParseReportRejectsMalformed(t *testing.T) {
+	good := func() string {
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, eventDayReport(t)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	cases := []string{
+		"",
+		"version: rssac002v9\nservice: k.root-servers.net\n",
+		strings.Replace(good, "service: k.root-servers.net", "service: z.root-servers.net", 1),
+		strings.Replace(good, "service: k.root-servers.net", "service: example.com", 1),
+		strings.Replace(good, "start-period: 2015-11-30T00:00:00Z", "start-period: whenever", 1),
+		strings.Replace(good, "dns-udp-queries-received-ipv4: ", "dns-udp-queries-received-ipv4: -", 1),
+		"  32-47: 10\n" + good, // orphan size bin before any section
+		strings.Replace(good, "udp-request-sizes:", "mystery-key:", 1),
+		"no colon line\n",
+	}
+	for i, text := range cases {
+		if _, err := ParseReport(strings.NewReader(text)); !errors.Is(err, ErrBadReportFile) {
+			t.Errorf("case %d: err = %v, want ErrBadReportFile", i, err)
+		}
+	}
+}
+
+func TestParseReportGenericDay(t *testing.T) {
+	r := SyntheticBaseline('H', 30_000, 5)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Day != 5 || got.Letter != 'H' {
+		t.Errorf("round trip = %c/%d", got.Letter, got.Day)
+	}
+}
+
+func TestServiceNames(t *testing.T) {
+	if serviceName('A') != "a.root-servers.net" || serviceName('M') != "m.root-servers.net" {
+		t.Error("serviceName wrong")
+	}
+	if l, err := letterFromService("k.root-servers.net"); err != nil || l != 'K' {
+		t.Errorf("letterFromService = %c, %v", l, err)
+	}
+	if _, err := letterFromService("n.root-servers.net"); err == nil {
+		t.Error("letter beyond M accepted")
+	}
+}

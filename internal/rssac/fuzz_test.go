@@ -1,0 +1,27 @@
+package rssac
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseReport guards the RSSAC-002 file parser: real inputs come from
+// scraped operator publications.
+func FuzzParseReport(f *testing.F) {
+	var sb strings.Builder
+	if err := WriteReport(&sb, SyntheticBaseline('K', 40_000, 0)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb.String())
+	f.Add("version: rssac002v3\nservice: a.root-servers.net\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, text string) {
+		rep, err := ParseReport(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if rep.Letter < 'A' || rep.Letter > 'M' || rep.Queries < 0 || rep.Day < 0 {
+			t.Fatalf("invalid report accepted: %+v", rep)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBinFor(t *testing.T) {
+	s := NewSeries("x", 100, 10, 5) // covers minutes [100,150)
+	tests := []struct {
+		minute int
+		bin    int
+		ok     bool
+	}{
+		{100, 0, true},
+		{109, 0, true},
+		{110, 1, true},
+		{149, 4, true},
+		{150, 0, false},
+		{99, 0, false},
+		{0, 0, false},
+	}
+	for _, tt := range tests {
+		bin, ok := s.BinFor(tt.minute)
+		if ok != tt.ok || (ok && bin != tt.bin) {
+			t.Errorf("BinFor(%d) = %d,%v want %d,%v", tt.minute, bin, ok, tt.bin, tt.ok)
+		}
+	}
+	if s.MinuteFor(3) != 130 {
+		t.Errorf("MinuteFor(3) = %d", s.MinuteFor(3))
+	}
+}
+
+func TestSeriesMinMaxMedian(t *testing.T) {
+	s := NewSeries("x", 0, 10, 4)
+	copy(s.Values, []float64{5, 1, 9, 3})
+	min, mi, err := s.Min()
+	if err != nil || min != 1 || mi != 1 {
+		t.Errorf("Min = %v@%d err %v", min, mi, err)
+	}
+	max, xi, err := s.Max()
+	if err != nil || max != 9 || xi != 2 {
+		t.Errorf("Max = %v@%d err %v", max, xi, err)
+	}
+	if m := s.Median(); m != 4 {
+		t.Errorf("Median = %v, want 4", m)
+	}
+	empty := NewSeries("e", 0, 10, 0)
+	if _, _, err := empty.Min(); err != ErrEmpty {
+		t.Error("empty Min should return ErrEmpty")
+	}
+	if _, _, err := empty.Max(); err != ErrEmpty {
+		t.Error("empty Max should return ErrEmpty")
+	}
+}
+
+func TestSeriesNormalize(t *testing.T) {
+	s := NewSeries("x", 0, 10, 2)
+	copy(s.Values, []float64{4, 8})
+	n, err := s.Normalize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Values[0] != 1 || n.Values[1] != 2 {
+		t.Errorf("normalized = %v", n.Values)
+	}
+	if s.Values[0] != 4 {
+		t.Error("Normalize mutated the source")
+	}
+	if _, err := s.Normalize(0); err == nil {
+		t.Error("want error for divide by zero")
+	}
+}
+
+func TestSeriesSlice(t *testing.T) {
+	s := NewSeries("x", 100, 10, 6)
+	for i := range s.Values {
+		s.Values[i] = float64(i)
+	}
+	sub, err := s.Slice(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.StartMinute != 120 || sub.Bins() != 3 || sub.Values[0] != 2 {
+		t.Errorf("slice = %+v", sub)
+	}
+	if _, err := s.Slice(4, 2); err == nil {
+		t.Error("want error for inverted range")
+	}
+	if _, err := s.Slice(0, 7); err == nil {
+		t.Error("want error for out-of-range")
+	}
+}
+
+func TestBinnerMeanAndCount(t *testing.T) {
+	b := NewBinner(0, 10, 3)
+	b.Add(0, 10)
+	b.Add(5, 20)
+	b.Add(15, 7)
+	if !b.Add(29, 1) {
+		t.Error("Add(29) should be in range")
+	}
+	if b.Add(30, 1) {
+		t.Error("Add(30) should be out of range")
+	}
+	if b.Add(-1, 1) {
+		t.Error("Add(-1) should be out of range")
+	}
+	mean := b.MeanSeries("m", true)
+	if mean.Values[0] != 15 || mean.Values[1] != 7 {
+		t.Errorf("means = %v", mean.Values)
+	}
+	counts := b.CountSeries("c")
+	if counts.Values[0] != 2 || counts.Values[1] != 1 || counts.Values[2] != 1 {
+		t.Errorf("counts = %v", counts.Values)
+	}
+	if b.Count(0) != 2 {
+		t.Errorf("Count(0) = %d", b.Count(0))
+	}
+}
+
+func TestBinnerCarryForward(t *testing.T) {
+	b := NewBinner(0, 10, 3)
+	b.Add(0, 42)
+	// bin 1 empty, bin 2 empty
+	carried := b.MeanSeries("m", false)
+	if carried.Values[1] != 42 || carried.Values[2] != 42 {
+		t.Errorf("carry-forward = %v", carried.Values)
+	}
+	zeroed := b.MeanSeries("m", true)
+	if zeroed.Values[1] != 0 {
+		t.Errorf("zeroEmpty = %v", zeroed.Values)
+	}
+}
+
+// Property: every in-range minute maps to exactly one bin and the bin range
+// contains the minute.
+func TestBinForRoundTrip(t *testing.T) {
+	s := NewSeries("x", 50, 7, 100)
+	f := func(m uint16) bool {
+		minute := int(m)
+		bin, ok := s.BinFor(minute)
+		if !ok {
+			return minute < 50 || minute >= 50+7*100
+		}
+		start := s.MinuteFor(bin)
+		return minute >= start && minute < start+7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Binner conserves observations — the sum of per-bin counts equals
+// the number of accepted Adds.
+func TestBinnerConservation(t *testing.T) {
+	f := func(minutes []uint16) bool {
+		b := NewBinner(0, 10, 144)
+		accepted := 0
+		for _, m := range minutes {
+			if b.Add(int(m), 1) {
+				accepted++
+			}
+		}
+		var total int64
+		for i := 0; i < 144; i++ {
+			total += b.Count(i)
+		}
+		return total == int64(accepted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
