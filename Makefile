@@ -1,0 +1,32 @@
+# Reproduction harness entry points. `make verify` is the gate every change
+# must pass: vet + build + full tests, then the race detector over the
+# concurrent packages (the parallel engine, measurement sharding, and the
+# live-socket server).
+
+GO ?= go
+
+.PHONY: verify vet build test race bench bench-workers reproduce
+
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/atlas/ ./internal/dnsserver/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Parallel-engine scaling benches (byte-identical output per worker count).
+bench-workers:
+	$(GO) test -bench='ParallelSmallWorkers|Nov30EventWorkers' -benchtime=1x -run '^$$' .
+
+reproduce:
+	$(GO) run ./cmd/rootevent -out out -save out/dataset.bin

@@ -8,6 +8,7 @@ package anycastddos
 // as the experiment index.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -407,6 +408,71 @@ func BenchmarkAblationFullRun(b *testing.B) {
 		if _, err := ev.Measure(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Parallel-engine benches: the same work at each worker count ---
+//
+// The engine guarantees byte-identical output for every worker count, so
+// these benches isolate pure speedup: letters shard across workers during
+// Run, vantage points during Measure. Expect near-linear Measure scaling
+// and Run scaling bounded by the 13-way letter parallelism (minus the
+// sequential per-minute barrier) on multi-core hosts; on a single core all
+// counts degenerate to the sequential cost plus scheduling noise.
+
+// BenchmarkParallelSmallWorkers runs simulation + measurement at test scale
+// across worker counts — quick enough for routine regression tracking.
+func BenchmarkParallelSmallWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := core.DefaultConfig(1)
+				cfg.Topology = &topo.Config{Tier1s: 5, Tier2s: 40, Stubs: 400, Seed: 1}
+				cfg.VPs = 150
+				ev, err := core.NewEvaluator(cfg, core.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := ev.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ev.Measure(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNov30EventWorkers is the headline scaling bench: the full first
+// event day on the default-size topology with the paper's ~9000 active
+// vantage points. Evaluators are single-use, so construction is excluded
+// from the timed region.
+//
+//	go test -bench=Nov30EventWorkers -benchtime=1x
+func BenchmarkNov30EventWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := core.DefaultConfig(1)
+				cfg.Minutes = 24 * 60 // Nov 30: event 1 and its aftermath
+				cfg.VPs = 9000
+				ev, err := core.NewEvaluator(cfg, core.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := ev.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ev.Measure(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	floodbench [-duration 2s] [-sources 50] [-rrl]
+//	floodbench [-duration 2s] [-sources 50] [-workers N] [-rrl]
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	log.SetPrefix("floodbench: ")
 	duration := flag.Duration("duration", 2*time.Second, "flood duration")
 	sources := flag.Int("sources", 50, "distinct spoofed-source sockets (heavy hitters)")
+	workers := flag.Int("workers", 0, "total sender goroutines spread over the source sockets (0 = one per socket)")
 	useRRL := flag.Bool("rrl", true, "enable response-rate limiting on the server")
 	flag.Parse()
 
@@ -63,12 +64,22 @@ func main() {
 	}
 	var sent atomic.Uint64
 	stop := make(chan struct{})
-	for i := 0; i < *sources; i++ {
+	conns := make([]*net.UDPConn, *sources)
+	for i := range conns {
 		conn, err := net.DialUDP("udp", nil, s.Addr())
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer conn.Close()
+		conns[i] = conn
+	}
+	// Sender goroutines round-robin over the source sockets; concurrent
+	// writes to one UDPConn are safe, so any worker count works.
+	senders := *workers
+	if senders <= 0 || len(conns) == 0 {
+		senders = len(conns)
+	}
+	for w := 0; w < senders; w++ {
 		go func(c *net.UDPConn) {
 			for {
 				select {
@@ -81,7 +92,7 @@ func main() {
 				}
 				sent.Add(1)
 			}
-		}(conn)
+		}(conns[w%len(conns)])
 	}
 
 	// A legitimate client probing once per 50 ms throughout the flood.

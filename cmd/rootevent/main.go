@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rootevent [-seed N] [-vps N] [-small] [-out DIR] [-only EXPR]
+//	rootevent [-seed N] [-vps N] [-small] [-workers N] [-out DIR] [-only EXPR]
 //
 // Results are written under -out (default ./out): one .txt rendering and,
 // where applicable, one .csv series file per experiment. -only restricts
@@ -37,10 +37,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (runs are bit-reproducible per seed)")
 	vps := flag.Int("vps", 4000, "Atlas vantage-point population size")
 	small := flag.Bool("small", false, "small topology and population for a quick run")
+	workers := flag.Int("workers", 0, "parallel workers for simulation and measurement (0 = all cores; output is identical for any value)")
 	outDir := flag.String("out", "out", "output directory")
 	only := flag.String("only", "", "comma-separated experiment list (e.g. table2,fig3); empty = all")
 	saveData := flag.String("save", "", "also archive the cleaned measurement dataset to this file")
 	scheduleName := flag.String("schedule", "nov2015", "attack scenario: nov2015 (the paper) or june2016 (the follow-up event)")
+	verbose := flag.Bool("progress", false, "log simulation/measurement progress")
 	flag.Parse()
 
 	cfg := core.DefaultConfig(*seed)
@@ -49,13 +51,27 @@ func main() {
 		cfg.Topology = &topo.Config{Tier1s: 6, Tier2s: 60, Stubs: 800, Seed: *seed}
 		cfg.VPs = 600
 	}
+	opts := []core.Option{core.WithWorkers(*workers)}
 	switch *scheduleName {
 	case "nov2015":
 		// the default
 	case "june2016":
-		cfg.Schedule = attack.June2016Schedule()
+		opts = append(opts, core.WithSchedule(attack.June2016Schedule()))
 	default:
 		log.Fatalf("unknown -schedule %q (nov2015 or june2016)", *scheduleName)
+	}
+	if *verbose {
+		opts = append(opts, core.WithProgress(func(p core.Progress) {
+			// Report at ~10% steps; progress arrives once per minute (run)
+			// or per vantage point (measure), so modulo keeps it quiet.
+			step := p.Total / 10
+			if step == 0 {
+				step = 1
+			}
+			if p.Done%step == 0 || p.Done == p.Total {
+				log.Printf("  %s %d/%d", p.Stage, p.Done, p.Total)
+			}
+		}))
 	}
 
 	want := map[string]bool{}
@@ -72,7 +88,7 @@ func main() {
 
 	start := time.Now()
 	log.Printf("building evaluator (seed %d, %d VPs)...", *seed, cfg.VPs)
-	ev, err := core.NewEvaluator(cfg)
+	ev, err := core.NewEvaluator(cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

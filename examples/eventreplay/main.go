@@ -24,7 +24,13 @@ func main() {
 	cfg := core.DefaultConfig(5)
 	cfg.Topology = &topo.Config{Tier1s: 6, Tier2s: 60, Stubs: 900, Seed: 5}
 	cfg.VPs = 800
-	ev, err := core.NewEvaluator(cfg)
+	ev, err := core.NewEvaluator(cfg,
+		core.WithWorkers(0), // all cores; output identical to a sequential run
+		core.WithProgress(func(p core.Progress) {
+			if p.Stage == core.StageRun && p.Done%720 == 0 {
+				log.Printf("  simulated %d/%d minutes", p.Done, p.Total)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}

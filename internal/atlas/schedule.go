@@ -1,8 +1,11 @@
 package atlas
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rootevent/anycastddos/internal/chaos"
 )
@@ -42,6 +45,14 @@ type ScheduleConfig struct {
 	// §2.4.1 — too coarse for event analysis, which is why the paper
 	// drops A from most figures).
 	AIntervalMin int
+
+	// Workers is the number of VP shards run concurrently; <= 0 selects
+	// GOMAXPROCS. The dataset is identical for every worker count.
+	Workers int
+	// Progress, when set, receives (VPs completed, total VPs) as the
+	// campaign advances. Calls are serialized but may come from any shard
+	// goroutine.
+	Progress func(done, total int)
 }
 
 // DefaultScheduleConfig covers the two event days for all 13 letters with
@@ -62,34 +73,75 @@ func DefaultScheduleConfig() ScheduleConfig {
 // Run executes the probing campaign and returns the cleaned dataset:
 // pre-4570-firmware VPs are dropped outright, and VPs whose replies match
 // no known letter pattern at implausibly short RTTs are flagged as hijacked
-// and dropped (§2.4.1).
-//
-// VPs probe independently, so the campaign shards the population across
-// CPUs; each VP's cells live in disjoint dataset rows, making the sharding
-// race-free. World implementations must be safe for concurrent reads.
+// and dropped (§2.4.1). It is RunContext without cancellation.
 func Run(p *Population, w World, cfg ScheduleConfig) *Dataset {
+	d, _ := RunContext(context.Background(), p, w, cfg)
+	return d
+}
+
+// RunContext executes the probing campaign under a context.
+//
+// VPs probe independently, so the campaign fans the population out over
+// cfg.Workers shards (GOMAXPROCS when unset), each walking a contiguous
+// VP range; every VP's cells live in a disjoint, pre-sized dataset
+// segment, making the sharding race-free and the output byte-identical to
+// a sequential run. World implementations must be safe for concurrent
+// reads. On cancellation the partial dataset is discarded and the wrapped
+// context error is returned.
+func RunContext(ctx context.Context, p *Population, w World, cfg ScheduleConfig) (*Dataset, error) {
 	bins := cfg.Minutes / cfg.BinMinutes
 	d := NewDataset(cfg.Letters, cfg.RawLetters, p.N(), cfg.StartMinute, cfg.BinMinutes, bins, cfg.IntervalMin)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > p.N() {
 		workers = p.N()
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		done       atomic.Int64
+		progressMu sync.Mutex
+	)
+	per := (len(p.VPs) + workers - 1) / workers
 	for shard := 0; shard < workers; shard++ {
+		lo := shard * per
+		hi := lo + per
+		if hi > len(p.VPs) {
+			hi = len(p.VPs)
+		}
+		if lo >= hi {
+			break
+		}
 		wg.Add(1)
-		go func(shard int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for i := shard; i < len(p.VPs); i += workers {
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				runVP(&p.VPs[i], w, cfg, d)
+				if cfg.Progress != nil {
+					n := int(done.Add(1))
+					progressMu.Lock()
+					cfg.Progress(n, p.N())
+					progressMu.Unlock()
+				}
 			}
-		}(shard)
+		}(lo, hi)
 	}
 	wg.Wait()
-	return d
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("atlas: campaign canceled: %w", err)
+	}
+	return d, nil
 }
 
 // runVP executes one vantage point's whole campaign.

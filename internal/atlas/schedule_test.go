@@ -1,0 +1,103 @@
+package atlas
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// shardWorld answers probes as a pure function of (vp, letter, minute) so
+// every sharding of the campaign must produce the same dataset.
+func shardWorld() *fakeWorld {
+	return &fakeWorld{fn: func(vp *VP, letter byte, minute int) Outcome {
+		h := uint64(vp.ID)*2654435761 ^ uint64(letter)<<17 ^ uint64(minute)
+		if h%7 == 0 {
+			return Outcome{Status: Timeout}
+		}
+		return Outcome{
+			Status: OK,
+			Site:   int(h % 5),
+			Server: 1,
+			RTTms:  float64(20 + h%300),
+		}
+	}}
+}
+
+func TestRunContextWorkerEquivalence(t *testing.T) {
+	g := testGraph(t)
+	p := smallPopulation(t, g, 60)
+	cfg := DefaultScheduleConfig()
+	cfg.Minutes = 240
+	w := shardWorld()
+
+	var golden []byte
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		cfg.Workers = workers
+		d, err := RunContext(context.Background(), p, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(golden, buf.Bytes()) {
+			t.Errorf("workers=%d produced a different dataset than workers=1", workers)
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	g := testGraph(t)
+	p := smallPopulation(t, g, 40)
+	cfg := DefaultScheduleConfig()
+	cfg.Minutes = 240
+	cfg.Workers = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, p, shardWorld(), cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextProgress(t *testing.T) {
+	g := testGraph(t)
+	p := smallPopulation(t, g, 30)
+	cfg := DefaultScheduleConfig()
+	cfg.Minutes = 120
+	cfg.Workers = 3
+	var (
+		mu   sync.Mutex
+		seen []int
+	)
+	cfg.Progress = func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != p.N() {
+			t.Errorf("progress total = %d, want %d", total, p.N())
+		}
+		seen = append(seen, done)
+	}
+	if _, err := RunContext(context.Background(), p, shardWorld(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != p.N() {
+		t.Fatalf("progress calls = %d, want %d", len(seen), p.N())
+	}
+	max := 0
+	for _, d := range seen {
+		if d > max {
+			max = d
+		}
+	}
+	if max != p.N() {
+		t.Errorf("max progress = %d, want %d", max, p.N())
+	}
+}

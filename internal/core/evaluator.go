@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/rootevent/anycastddos/internal/anycast"
 	"github.com/rootevent/anycastddos/internal/atlas"
@@ -12,7 +14,6 @@ import (
 	"github.com/rootevent/anycastddos/internal/chaos"
 	"github.com/rootevent/anycastddos/internal/geo"
 	"github.com/rootevent/anycastddos/internal/netsim"
-	"github.com/rootevent/anycastddos/internal/rrl"
 	"github.com/rootevent/anycastddos/internal/rssac"
 	"github.com/rootevent/anycastddos/internal/stats"
 	"github.com/rootevent/anycastddos/internal/topo"
@@ -141,12 +142,24 @@ type originState struct {
 const flapExcessQPS = 250_000
 
 // letterState carries one letter's routing and per-minute service state.
+// During Run, each letterState is owned by exactly one engine worker per
+// minute; nothing here is shared across letters.
 type letterState struct {
 	letter  *anycast.Letter
 	origins []bgpsim.Origin
 	states  []originState
 	active  []bool
 	epochs  []epoch
+
+	// index is the letter's position in SortedLetters order; the engine's
+	// barrier merges cross-letter contributions in this order.
+	index int
+	// util is per-minute scratch (one slot per site), reused across
+	// minutes to keep the hot loop allocation-free.
+	util []float64
+	// pending is the routing diff produced by the latest computeEpoch,
+	// waiting to be handed to the BGP collector at the minute barrier.
+	pending []bgpsim.Change
 
 	// Per-site per-minute service quality.
 	loss     [][]float32 // [site][minute]
@@ -173,6 +186,14 @@ type Evaluator struct {
 
 	letters map[byte]*letterState
 	sched   *attack.Schedule
+	opts    options
+
+	// clientWeights is Clients.Weights flattened into ascending-ASN order:
+	// catchment shares are float sums, and a fixed iteration order is what
+	// makes them (and everything downstream) bit-reproducible.
+	clientWeights []clientWeight
+	// stubs caches Graph.StubASNs(), read concurrently by epoch workers.
+	stubs []topo.ASN
 
 	// cityExcess[cityIdx][minute] is the total over-capacity query rate
 	// landing in a city, across all letters — the shared-infrastructure
@@ -191,12 +212,31 @@ type Evaluator struct {
 	// txt caches CHAOS identity strings per letter/site/server.
 	txt map[byte][][]string
 
+	// mu guards finalized; RSSAC finalization mutates report fields, so it
+	// runs once per letter and the result is cached for concurrent readers.
+	mu        sync.Mutex
+	finalized map[byte][]*rssac.Report
+
 	ran bool
 }
 
+// clientWeight is one stub AS's share of legitimate query load.
+type clientWeight struct {
+	asn topo.ASN
+	w   float64
+}
+
 // NewEvaluator builds the full system: topology, deployment placement,
-// population, botnet, collectors.
-func NewEvaluator(cfg Config) (*Evaluator, error) {
+// population, botnet, collectors. Options configure execution — worker
+// count, cancellation context, progress reporting, attack schedule —
+// without touching the Config struct:
+//
+//	ev, err := core.NewEvaluator(cfg, core.WithWorkers(8), core.WithContext(ctx))
+func NewEvaluator(cfg Config, opts ...Option) (*Evaluator, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
 	cfg.fillDefaults()
 	tcfg := topo.DefaultConfig(cfg.Seed)
 	if cfg.Topology != nil {
@@ -230,12 +270,16 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched := cfg.Schedule
+	sched := o.schedule
+	if sched == nil {
+		sched = cfg.Schedule
+	}
 	if sched == nil {
 		sched = attack.Nov2015Schedule()
 	}
 	ev := &Evaluator{
 		Cfg:        cfg,
+		opts:       o,
 		sched:      sched,
 		Graph:      g,
 		Deployment: dep,
@@ -245,6 +289,7 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 		Clients:    attack.NewClientPopulation(g, cfg.Seed+5),
 		RSSAC:      rssac.NewAccumulator((cfg.Minutes+1439)/1440, attack.DefaultSourceMix),
 		letters:    make(map[byte]*letterState),
+		finalized:  make(map[byte][]*rssac.Report),
 		NLSites:    []string{"AMS", "LHR"},
 	}
 	ev.buildCaches()
@@ -280,6 +325,14 @@ func (ev *Evaluator) buildCaches() {
 	for i := range ev.cityExcess {
 		ev.cityExcess[i] = make([]float64, ev.Cfg.Minutes)
 	}
+	ev.clientWeights = make([]clientWeight, 0, len(ev.Clients.Weights))
+	for asn, w := range ev.Clients.Weights {
+		ev.clientWeights = append(ev.clientWeights, clientWeight{asn: asn, w: w})
+	}
+	sort.Slice(ev.clientWeights, func(i, j int) bool {
+		return ev.clientWeights[i].asn < ev.clientWeights[j].asn
+	})
+	ev.stubs = ev.Graph.StubASNs()
 }
 
 func (ev *Evaluator) buildLetterStates() {
@@ -352,19 +405,28 @@ func (ev *Evaluator) buildLetterStates() {
 		ls.attackServed = make([]float64, ev.Cfg.Minutes)
 		ls.retryServed = make([]float64, ev.Cfg.Minutes)
 		ls.responses = make([]float64, ev.Cfg.Minutes)
+		ls.util = make([]float64, nSites)
 		ev.letters[l.Letter] = ls
+	}
+	for i, lb := range ev.Deployment.SortedLetters() {
+		ev.letters[lb].index = i
 	}
 }
 
-// recomputeEpoch recomputes routing and traffic shares for a letter.
-func (ev *Evaluator) recomputeEpoch(ls *letterState, minute int) {
+// computeEpoch recomputes routing and traffic shares for a letter and
+// leaves the routing diff in ls.pending for the engine's barrier to hand
+// to the BGP collector (the only shared sink). Safe to call from an engine
+// worker: it reads only immutable evaluator state and writes only ls.
+func (ev *Evaluator) computeEpoch(ls *letterState, minute int) {
 	table := bgpsim.Compute(ev.Graph, ls.origins, ls.active)
 	nSites := len(ls.letter.Sites)
 	legit := make([]float64, nSites)
 	attackShare := make([]float64, nSites)
-	for asn, w := range ev.Clients.Weights {
-		if site := table.SiteOf(asn); site >= 0 {
-			legit[site] += w
+	// clientWeights is in ascending-ASN order (not map order) so the float
+	// summation sequence is identical across runs and worker counts.
+	for _, cw := range ev.clientWeights {
+		if site := table.SiteOf(cw.asn); site >= 0 {
+			legit[site] += cw.w
 		}
 	}
 	for i, asn := range ev.Botnet.Origins {
@@ -375,10 +437,9 @@ func (ev *Evaluator) recomputeEpoch(ls *letterState, minute int) {
 	// Attack ingress: BackgroundShare of the flood arrives uniformly from
 	// every stub AS (spoofed sources are everywhere); the rest enters
 	// through the concentrated botnet.
-	stubs := ev.Graph.StubASNs()
-	if len(stubs) > 0 {
-		per := attack.BackgroundShare / float64(len(stubs))
-		for _, asn := range stubs {
+	if len(ev.stubs) > 0 {
+		per := attack.BackgroundShare / float64(len(ev.stubs))
+		for _, asn := range ev.stubs {
 			if site := table.SiteOf(asn); site >= 0 {
 				attackShare[site] += per
 			}
@@ -387,8 +448,7 @@ func (ev *Evaluator) recomputeEpoch(ls *letterState, minute int) {
 	ep := epoch{Start: minute, Table: table, LegitFrac: legit, AttackFrac: attackShare}
 	if len(ls.epochs) > 0 {
 		prev := ls.epochs[len(ls.epochs)-1]
-		changes := bgpsim.Diff(prev.Table, table)
-		ev.Collector.Observe(minute, ls.letter.Letter, changes)
+		ls.pending = bgpsim.Diff(prev.Table, table)
 	}
 	ls.epochs = append(ls.epochs, ep)
 }
@@ -405,165 +465,10 @@ func (ls *letterState) epochAt(minute int) *epoch {
 }
 
 // Run executes the minute loop. It must be called exactly once before
-// Probe/Dataset accessors.
+// Probe/Dataset accessors. It honors the context given via WithContext;
+// use RunContext to pass one per call.
 func (ev *Evaluator) Run() error {
-	if ev.ran {
-		return fmt.Errorf("core: evaluator already ran")
-	}
-	ev.ran = true
-
-	events := ev.sched.Events
-	letters := ev.Deployment.SortedLetters()
-	for _, lb := range letters {
-		ev.recomputeEpoch(ev.letters[lb], 0)
-	}
-
-	// Pre-event retry load is zero; during events, legitimate queries
-	// that fail at attacked letters are retried at the others (§3.2.2).
-	for minute := 0; minute < ev.Cfg.Minutes; minute++ {
-		evIdx := ev.sched.Active(minute)
-
-		// Pass 1: per-letter site states.
-		var failedLegitQPS float64
-		attackedCount := 0
-		for _, lb := range letters {
-			ls := ev.letters[lb]
-			ep := ls.epochAt(minute)
-			attacked := evIdx >= 0 && ev.sched.Targeted(lb)
-			if attacked {
-				attackedCount++
-			}
-			var attackQPS float64
-			if attacked {
-				attackQPS = events[evIdx].PerLetterQPS
-			}
-			utilization := make([]float64, len(ls.letter.Sites))
-			for si, site := range ls.letter.Sites {
-				if !ev.siteAnnounced(ls, si) {
-					ls.hasRoute[si][minute] = false
-					ls.loss[si][minute] = 1
-					continue
-				}
-				load := netsim.Load{
-					LegitQPS:  ep.LegitFrac[si] * ls.letter.NormalQPS,
-					AttackQPS: ep.AttackFrac[si] * attackQPS,
-				}
-				st := netsim.Evaluate(site.CapacityQPS, load, ev.Cfg.Netsim)
-				if site.ShallowBuffers && st.ExtraDelayMs > 60 {
-					st.ExtraDelayMs = 60
-				}
-				utilization[si] = st.Utilization
-				ls.hasRoute[si][minute] = true
-				ls.loss[si][minute] = float32(st.LossFrac)
-				ls.delay[si][minute] = float32(st.ExtraDelayMs)
-
-				served := st.ServedQPS
-				frac := 0.0
-				if st.OfferedQPS > 0 {
-					frac = served / st.OfferedQPS
-				}
-				ls.legitServed[minute] += load.LegitQPS * frac
-				ls.attackServed[minute] += load.AttackQPS * frac
-				failedLegitQPS += load.LegitQPS * (1 - frac)
-
-				// Shared-infrastructure stress for collateral damage.
-				if excess := st.OfferedQPS - served; excess > 0 {
-					if ci, ok := ev.cityIdx[site.City.Code]; ok {
-						ev.cityExcess[ci][minute] += excess
-					}
-				}
-			}
-			// Step announcement state machines.
-			changed := false
-			for oi := range ls.states {
-				os := &ls.states[oi]
-				u := utilization[os.site]
-				if os.flap && minute > 0 {
-					// Session failures also follow shared-fabric
-					// congestion in the site's city (previous minute's
-					// totals, so letter processing order cannot matter).
-					if ci, ok := ev.cityIdx[ls.letter.Sites[os.site].City.Code]; ok {
-						if cu := ev.cityExcess[ci][minute-1] / flapExcessQPS; cu > u {
-							u = cu
-						}
-					}
-				}
-				if !ls.active[oi] {
-					u = 0
-				}
-				if os.router.Step(minute, u) {
-					changed = true
-				}
-				ls.active[oi] = os.router.Announced()
-			}
-			// H-Root primary/backup: activate the backup while the
-			// primary is down.
-			if ls.letter.PrimaryBackup && len(ls.letter.Sites) >= 2 {
-				primaryUp := false
-				for oi, o := range ls.origins {
-					if o.Site == 0 && ls.active[oi] {
-						primaryUp = true
-					}
-				}
-				for oi, o := range ls.origins {
-					if o.Site != 0 {
-						want := !primaryUp
-						if ls.active[oi] != want {
-							if want {
-								ls.states[oi].router.ForceAnnounce()
-							} else {
-								ls.states[oi].router.ForceWithdraw(minute)
-							}
-							ls.active[oi] = want
-							changed = true
-						}
-					}
-				}
-			}
-			if changed {
-				ev.recomputeEpoch(ls, minute+1)
-			}
-		}
-
-		// Pass 2: retry load at un-attacked letters and RSSAC records.
-		unattacked := 0
-		for _, lb := range letters {
-			if evIdx >= 0 && !ev.sched.Targeted(lb) {
-				unattacked++
-			}
-		}
-		for _, lb := range letters {
-			ls := ev.letters[lb]
-			if evIdx >= 0 && !ev.sched.Targeted(lb) && unattacked > 0 {
-				ls.retryServed[minute] = failedLegitQPS / float64(unattacked)
-			}
-			// Responses: legit (and retries) answered 1:1; attack
-			// responses survive RRL at the reported ~60% suppression.
-			suppress := 0.0
-			if ls.attackServed[minute] > 0 {
-				total := ls.attackServed[minute] + ls.legitServed[minute]
-				suppress = rrl.SuppressionModel(ls.attackServed[minute] / total)
-			}
-			ls.responses[minute] = ls.legitServed[minute] + ls.retryServed[minute] +
-				ls.attackServed[minute]*(1-suppress)
-
-			rec := rssac.Minute{
-				Minute:          minute,
-				LegitServedQPS:  ls.legitServed[minute],
-				RetryServedQPS:  ls.retryServed[minute],
-				AttackServedQPS: ls.attackServed[minute],
-				ResponseQPS:     ls.responses[minute],
-			}
-			if evIdx >= 0 {
-				rec.AttackQueryBytes = events[evIdx].QueryBytes
-				rec.AttackResponseBytes = events[evIdx].ResponseBytes
-			}
-			ev.RSSAC.Record(lb, rec)
-		}
-	}
-
-	ev.buildNLSeries()
-	return nil
+	return ev.RunContext(ev.opts.ctx)
 }
 
 // buildNLSeries materializes the .nl collateral series (Figure 15). The
@@ -785,29 +690,52 @@ func (ev *Evaluator) cityRTT(a, b string) float64 {
 }
 
 // Measure runs the Atlas campaign against the completed simulation and
-// returns the cleaned dataset.
+// returns the cleaned dataset. It honors the context given via
+// WithContext; use MeasureContext to pass one per call.
 func (ev *Evaluator) Measure() (*atlas.Dataset, error) {
+	return ev.MeasureContext(ev.opts.ctx)
+}
+
+// MeasureContext runs the Atlas campaign under a context. The VP
+// population is sharded across the configured worker count (WithWorkers);
+// each shard writes into its own pre-sized slice segment of the dataset,
+// so the result is byte-identical for every worker count.
+func (ev *Evaluator) MeasureContext(ctx context.Context) (*atlas.Dataset, error) {
 	if !ev.ran {
 		return nil, fmt.Errorf("core: Run() must complete before Measure()")
 	}
 	cfg := atlas.DefaultScheduleConfig()
 	cfg.Minutes = ev.Cfg.Minutes
 	cfg.RawLetters = ev.Cfg.RawLetters
-	return atlas.Run(ev.Population, ev, cfg), nil
+	cfg.Workers = ev.opts.workers
+	if fn := ev.opts.progress; fn != nil {
+		cfg.Progress = func(done, total int) {
+			fn(Progress{Stage: StageMeasure, Done: done, Total: total})
+		}
+	}
+	d, err := atlas.RunContext(ctx, ev.Population, ev, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: measure: %w", err)
+	}
+	return d, nil
 }
 
 // LetterSites returns the site list for a letter (helper for analysis).
+// The returned slice is a defensive copy — callers may reorder or append
+// to it freely — but the *anycast.Site values it points at are shared with
+// the evaluator and must be treated as read-only.
 func (ev *Evaluator) LetterSites(letter byte) []*anycast.Site {
 	l, ok := ev.Deployment.Letter(letter)
 	if !ok {
 		return nil
 	}
-	return l.Sites
+	return append([]*anycast.Site(nil), l.Sites...)
 }
 
 // SiteRouteSeries returns a 10-minute-binned series of whether a site held
 // any announced route (1) or was withdrawn (0) — ground truth behind the
-// reachability figures.
+// reachability figures. Each call builds a fresh Series, so callers may
+// mutate the result; valid only after Run completes.
 func (ev *Evaluator) SiteRouteSeries(letter byte, site int) (*stats.Series, error) {
 	ls, ok := ev.letters[letter]
 	if !ok || site < 0 || site >= len(ls.hasRoute) {
@@ -837,9 +765,22 @@ func (ev *Evaluator) LetterServedSeries(letter byte) (legit, attackQ, retry, res
 	return ls.legitServed, ls.attackServed, ls.retryServed, ls.responses, nil
 }
 
-// RSSACReports finalizes and returns a letter's daily reports.
+// RSSACReports finalizes and returns a letter's daily reports. Valid only
+// after Run completes (nil before). Finalization runs once per letter and
+// is cached, so concurrent callers are safe; the returned slice is a
+// defensive copy, but the *rssac.Report values are shared and read-only.
 func (ev *Evaluator) RSSACReports(letter byte) []*rssac.Report {
-	return ev.RSSAC.Finalize(letter)
+	if !ev.ran {
+		return nil
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	rs, ok := ev.finalized[letter]
+	if !ok {
+		rs = ev.RSSAC.Finalize(letter)
+		ev.finalized[letter] = rs
+	}
+	return append([]*rssac.Report(nil), rs...)
 }
 
 // SiteAt returns the site serving an AS for one letter at a minute (or

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"runtime"
+
+	"github.com/rootevent/anycastddos/internal/attack"
+)
+
+// Stage names reported through Progress.
+const (
+	StageRun     = "run"     // the minute-by-minute event simulation
+	StageMeasure = "measure" // the Atlas measurement campaign
+)
+
+// Progress is one progress report from a running evaluator stage.
+type Progress struct {
+	Stage string // StageRun or StageMeasure
+	Done  int    // minutes simulated / VPs measured so far
+	Total int    // total minutes / VPs in the stage
+}
+
+// ProgressFunc receives progress reports. During StageRun it is called from
+// the coordinating goroutine at the per-minute barrier, where no worker is
+// running — the evaluator's accessors are safe to call from inside it.
+// During StageMeasure it may be called from any measurement shard (calls
+// are serialized, but not pinned to one goroutine).
+type ProgressFunc func(Progress)
+
+// options collects the functional-option state of an Evaluator.
+type options struct {
+	workers  int // 0 = auto (GOMAXPROCS), otherwise an explicit count
+	ctx      context.Context
+	progress ProgressFunc
+	schedule *attack.Schedule
+}
+
+func defaultOptions() options {
+	return options{ctx: context.Background()}
+}
+
+// resolveWorkers maps the configured worker count to a concrete one.
+func (o *options) resolveWorkers() int {
+	if o.workers > 0 {
+		return o.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Option configures an Evaluator beyond the Config struct. Options are the
+// additive half of the API: the Config struct keeps describing *what* to
+// simulate, options describe *how* to execute it.
+type Option func(*options)
+
+// WithWorkers sets the number of worker goroutines used by Run (letters
+// simulated concurrently within each minute) and Measure (VP shards).
+// n <= 0 selects GOMAXPROCS. Output is byte-identical for every worker
+// count at a given seed.
+func WithWorkers(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			n = 0
+		}
+		o.workers = n
+	}
+}
+
+// WithContext attaches a context to the evaluator: Run and Measure (the
+// context-free forms) honor it for cancellation. RunContext and
+// MeasureContext override it per call.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) {
+		if ctx != nil {
+			o.ctx = ctx
+		}
+	}
+}
+
+// WithProgress registers a callback receiving per-minute (Run) and per-VP
+// (Measure) progress reports.
+func WithProgress(fn ProgressFunc) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// WithSchedule selects the attack scenario, overriding Config.Schedule.
+func WithSchedule(s *attack.Schedule) Option {
+	return func(o *options) { o.schedule = s }
+}
