@@ -1,13 +1,17 @@
 # Reproduction harness entry points. `make verify` is the gate every change
-# must pass: vet + build + full tests, then the race detector over the
-# concurrent packages (the parallel engine, measurement sharding, and the
-# live-socket server).
+# must pass: format + vet + build + full tests, then the race detector over
+# the concurrent packages (the parallel engine, measurement sharding, and
+# the live-socket server).
 
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-workers reproduce
+.PHONY: verify fmt vet build test race soak bench bench-workers reproduce
 
-verify: vet build test race
+verify: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +24,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/atlas/ ./internal/dnsserver/
+
+# Fault-injection soak: 8 random heavy fault plans through the full engine
+# under the race detector; the first two seeds also replay sequentially to
+# prove worker-count independence under faults.
+soak:
+	$(GO) run -race ./cmd/chaossoak -seeds 8
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -387,7 +387,9 @@ func BenchmarkAblationRouting(b *testing.B) {
 func BenchmarkAblationQueueModel(b *testing.B) {
 	cfg := netsim.DefaultConfig()
 	for i := 0; i < b.N; i++ {
-		netsim.Evaluate(350_000, netsim.Load{LegitQPS: 3000, AttackQPS: float64(i % 5_000_000)}, cfg)
+		if _, err := netsim.Evaluate(350_000, netsim.Load{LegitQPS: 3000, AttackQPS: float64(i % 5_000_000)}, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,107 @@
+// Command chaossoak soaks the evaluation engine under randomized fault
+// plans: for each seed it draws a deterministic plan, runs a small but
+// full-pipeline simulation with the faults injected, and checks that the
+// engine finishes cleanly — no panics (worker panics surface as wrapped
+// errors naming the letter and minute) and a measurable dataset at the end.
+// The first few seeds are additionally replayed sequentially to prove the
+// faulted run is worker-count independent.
+//
+// Usage:
+//
+//	chaossoak [-seeds N] [-profile light|heavy|monitor] [-workers N]
+//	          [-minutes N] [-equiv N]
+//
+// Exit status is non-zero when any seed fails.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/core"
+	"github.com/rootevent/anycastddos/internal/faults"
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaossoak: ")
+	seeds := flag.Int("seeds", 8, "number of fault-plan seeds to soak")
+	profileName := flag.String("profile", "heavy", "fault profile: light, heavy, or monitor")
+	workers := flag.Int("workers", 4, "engine worker goroutines")
+	minutes := flag.Int("minutes", 1440, "simulated minutes per run")
+	equiv := flag.Int("equiv", 2, "seeds to replay sequentially for worker-equivalence")
+	flag.Parse()
+
+	profile, err := faults.ProfileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	failures := 0
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
+		plan := faults.RandomPlan(seed, profile)
+		start := time.Now()
+		hash, err := soakRun(plan, seed, *minutes, *workers)
+		if err != nil {
+			failures++
+			log.Printf("seed %d FAIL (%v): %v", seed, time.Since(start).Round(time.Millisecond), err)
+			continue
+		}
+		status := fmt.Sprintf("seed %d ok   (%v, %d fault events, hash %x)",
+			seed, time.Since(start).Round(time.Millisecond), len(plan.Events), hash[:4])
+		if seed <= int64(*equiv) && *workers != 1 {
+			seqHash, err := soakRun(plan, seed, *minutes, 1)
+			switch {
+			case err != nil:
+				failures++
+				log.Printf("seed %d FAIL: sequential replay: %v", seed, err)
+				continue
+			case seqHash != hash:
+				failures++
+				log.Printf("seed %d FAIL: workers=%d hash %x != workers=1 hash %x",
+					seed, *workers, hash[:4], seqHash[:4])
+				continue
+			default:
+				status += " equiv-ok"
+			}
+		}
+		log.Print(status)
+	}
+	if failures > 0 {
+		log.Printf("%d/%d seeds failed", failures, *seeds)
+		os.Exit(1)
+	}
+	log.Printf("all %d seeds survived (%s profile, %d workers)", *seeds, *profileName, *workers)
+}
+
+// soakRun executes one faulted simulation and returns the dataset hash.
+func soakRun(plan *faults.Plan, seed int64, minutes, workers int) ([32]byte, error) {
+	var zero [32]byte
+	cfg := core.DefaultConfig(seed)
+	cfg.Topology = &topo.Config{Tier1s: 5, Tier2s: 40, Stubs: 400, Seed: seed}
+	cfg.VPs = 150
+	cfg.BotnetOrigins = 25
+	cfg.Minutes = minutes
+	ev, err := core.NewEvaluator(cfg, core.WithWorkers(workers), core.WithFaults(plan))
+	if err != nil {
+		return zero, err
+	}
+	if err := ev.Run(); err != nil {
+		return zero, err
+	}
+	d, err := ev.Measure()
+	if err != nil {
+		return zero, err
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		return zero, err
+	}
+	return sha256.Sum256(buf.Bytes()), nil
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	rootevent [-seed N] [-vps N] [-small] [-workers N] [-out DIR] [-only EXPR]
+//	          [-faults random:SEED[:PROFILE]]
 //
 // Results are written under -out (default ./out): one .txt rendering and,
 // where applicable, one .csv series file per experiment. -only restricts
@@ -17,6 +18,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"github.com/rootevent/anycastddos/internal/atlas"
 	"github.com/rootevent/anycastddos/internal/attack"
 	"github.com/rootevent/anycastddos/internal/core"
+	"github.com/rootevent/anycastddos/internal/faults"
 	"github.com/rootevent/anycastddos/internal/report"
 	"github.com/rootevent/anycastddos/internal/rssac"
 	"github.com/rootevent/anycastddos/internal/stats"
@@ -42,6 +45,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment list (e.g. table2,fig3); empty = all")
 	saveData := flag.String("save", "", "also archive the cleaned measurement dataset to this file")
 	scheduleName := flag.String("schedule", "nov2015", "attack scenario: nov2015 (the paper) or june2016 (the follow-up event)")
+	faultsSpec := flag.String("faults", "", "inject a seeded fault plan on top of the attack: random:SEED[:PROFILE] (profiles: light, heavy, monitor)")
 	verbose := flag.Bool("progress", false, "log simulation/measurement progress")
 	flag.Parse()
 
@@ -59,6 +63,14 @@ func main() {
 		opts = append(opts, core.WithSchedule(attack.June2016Schedule()))
 	default:
 		log.Fatalf("unknown -schedule %q (nov2015 or june2016)", *scheduleName)
+	}
+	if *faultsSpec != "" {
+		plan, err := parseFaultsSpec(*faultsSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fault injection: %s", plan)
+		opts = append(opts, core.WithFaults(plan))
 	}
 	if *verbose {
 		opts = append(opts, core.WithProgress(func(p core.Progress) {
@@ -447,6 +459,26 @@ func main() {
 
 	_ = atlas.AtlasTimeoutMs // keep import pinned for doc reference
 	log.Printf("all selected experiments done in %v", time.Since(start).Round(time.Millisecond))
+}
+
+// parseFaultsSpec parses the -faults flag value "random:SEED[:PROFILE]"
+// into a deterministic fault plan.
+func parseFaultsSpec(spec string) (*faults.Plan, error) {
+	parts := strings.Split(spec, ":")
+	if parts[0] != "random" || len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("bad -faults %q: want random:SEED[:PROFILE]", spec)
+	}
+	seed, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -faults seed %q: %v", parts[1], err)
+	}
+	pr := faults.LightProfile()
+	if len(parts) == 3 {
+		if pr, err = faults.ProfileByName(parts[2]); err != nil {
+			return nil, err
+		}
+	}
+	return faults.RandomPlan(seed, pr), nil
 }
 
 // writePolicyCases renders the §2.2 five-case sweep.

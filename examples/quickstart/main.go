@@ -51,7 +51,10 @@ func main() {
 
 	fmt.Println("\nUnder attack (1.2 Mq/s total), absorbing in place:")
 	for site := range load {
-		st := netsim.Evaluate(capacities[site], load[site], netsim.DefaultConfig())
+		st, err := netsim.Evaluate(capacities[site], load[site], netsim.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  site %d: offered %8.0f q/s, loss %5.1f%%, +%4.0f ms queueing\n",
 			site, st.OfferedQPS, st.LossFrac*100, st.ExtraDelayMs)
 	}
@@ -78,7 +81,10 @@ func main() {
 			fmt.Printf("  site %d: withdrawn\n", site)
 			continue
 		}
-		st := netsim.Evaluate(capacities[site], newLoad[site], netsim.DefaultConfig())
+		st, err := netsim.Evaluate(capacities[site], newLoad[site], netsim.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  site %d: offered %8.0f q/s, loss %5.1f%%, +%4.0f ms queueing\n",
 			site, st.OfferedQPS, st.LossFrac*100, st.ExtraDelayMs)
 	}

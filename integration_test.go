@@ -13,6 +13,7 @@ import (
 	"github.com/rootevent/anycastddos/internal/atlas"
 	"github.com/rootevent/anycastddos/internal/attack"
 	"github.com/rootevent/anycastddos/internal/core"
+	"github.com/rootevent/anycastddos/internal/faults"
 	"github.com/rootevent/anycastddos/internal/topo"
 )
 
@@ -233,4 +234,36 @@ func coreSmallConfig(seed int64) core.Config {
 // newEvaluator wraps core.NewEvaluator for the tests above.
 func newEvaluator(cfg core.Config) (*core.Evaluator, error) {
 	return core.NewEvaluator(cfg)
+}
+
+// TestFaultSoakShort is a two-seed slice of the chaossoak harness: random
+// fault plans must never panic the engine, and the faulted run must still
+// produce a measurable dataset end to end.
+func TestFaultSoakShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs under fault injection")
+	}
+	for seed := int64(1); seed <= 2; seed++ {
+		plan := faults.RandomPlan(seed, faults.LightProfile())
+		cfg := coreSmallConfig(seed)
+		cfg.Minutes = 720
+		ev, err := core.NewEvaluator(cfg, core.WithWorkers(4), core.WithFaults(plan))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ev.Run(); err != nil {
+			t.Fatalf("seed %d: faulted run failed: %v", seed, err)
+		}
+		d, err := ev.Measure()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("seed %d: empty dataset", seed)
+		}
+	}
 }

@@ -120,8 +120,11 @@ func Table3(ev *core.Evaluator, eventIdx int) (*Table3Result, error) {
 		}
 		r := reports[day]
 		base := rssac.MeanBaseline(l.Letter, l.NormalQPS, 7)
-		deltaQ := (r.Queries - base.Queries) / eventSecs
-		deltaR := (r.Responses - base.Responses) / eventSecs
+		// Coverage-corrected volumes: a report with MonitorGap holes
+		// would otherwise read as a low-traffic day and drag the bounds
+		// down (identical to the raw counts on gap-free days).
+		deltaQ := (r.EstimatedQueries() - base.Queries) / eventSecs
+		deltaR := (r.EstimatedResponses() - base.Responses) / eventSecs
 		if deltaQ < 0 {
 			deltaQ = 0
 		}

@@ -282,9 +282,11 @@ func genericSites(n int, nGlobal int, policy Policy, rng *rand.Rand) []siteSpec 
 // RootDeployment builds the 13-letter deployment with the architecture of
 // Table 2 (site counts follow the "observed" column; E and K use the exact
 // site lists of Figure 6). The seed controls only the fabricated site lists
-// of letters without published site sets.
-func RootDeployment(seed int64) *Deployment {
+// of letters without published site sets. A site list naming a city
+// outside the geo table yields an error wrapping geo.ErrUnknownCity.
+func RootDeployment(seed int64) (*Deployment, error) {
 	rng := rand.New(rand.NewSource(seed))
+	var buildErr error
 	build := func(letter byte, operator string, normal float64, rssac bool, specs []siteSpec) *Letter {
 		l := &Letter{Letter: letter, Operator: operator, NormalQPS: normal, ReportsRSSAC: rssac}
 		seen := map[string]int{}
@@ -295,9 +297,12 @@ func RootDeployment(seed int64) *Deployment {
 				continue
 			}
 			seen[sp.code]++
-			city, ok := geo.Lookup(sp.code)
-			if !ok {
-				panic("anycast: unknown site city " + sp.code)
+			city, err := geo.LookupErr(sp.code)
+			if err != nil {
+				if buildErr == nil {
+					buildErr = fmt.Errorf("anycast: letter %c site list: %w", letter, err)
+				}
+				continue
 			}
 			l.Sites = append(l.Sites, &Site{
 				Letter: letter, Code: sp.code, City: city, Local: sp.local,
@@ -389,7 +394,10 @@ func RootDeployment(seed int64) *Deployment {
 	if h, ok := d.Letter('H'); ok {
 		h.PrimaryBackup = true
 	}
-	return d
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return d, nil
 }
 
 // Place assigns every site a host AS located in (or nearest to) the site's

@@ -6,8 +6,18 @@ import (
 	"github.com/rootevent/anycastddos/internal/topo"
 )
 
+// mustDeployment builds the root deployment or fails the test.
+func mustDeployment(t *testing.T, seed int64) *Deployment {
+	t.Helper()
+	d, err := RootDeployment(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func TestRootDeploymentShape(t *testing.T) {
-	d := RootDeployment(1)
+	d := mustDeployment(t, 1)
 	if err := d.Validate(false); err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +66,7 @@ func TestRootDeploymentShape(t *testing.T) {
 }
 
 func TestPaperSiteListsPresent(t *testing.T) {
-	d := RootDeployment(1)
+	d := mustDeployment(t, 1)
 	k, _ := d.Letter('K')
 	for _, code := range []string{"AMS", "LHR", "FRA", "NRT", "LED", "RNO", "DOH"} {
 		if _, ok := k.SiteByCode(code); !ok {
@@ -97,8 +107,8 @@ func TestPaperSiteListsPresent(t *testing.T) {
 }
 
 func TestDeterministicBySeed(t *testing.T) {
-	d1 := RootDeployment(7)
-	d2 := RootDeployment(7)
+	d1 := mustDeployment(t, 7)
+	d2 := mustDeployment(t, 7)
 	for i, l := range d1.Letters {
 		for j, s := range l.Sites {
 			if d2.Letters[i].Sites[j].Code != s.Code {
@@ -113,7 +123,7 @@ func TestPlaceAssignsHostsInCityOrRegion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := RootDeployment(2)
+	d := mustDeployment(t, 2)
 	if err := d.Place(g, 3); err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +156,7 @@ func TestPlaceAssignsHostsInCityOrRegion(t *testing.T) {
 
 func TestPlaceRequiresTier2s(t *testing.T) {
 	g := &topo.Graph{ASes: make([]topo.AS, 3)} // all stubs by zero value? Tier zero value is Tier1
-	d := RootDeployment(1)
+	d := mustDeployment(t, 1)
 	// A graph with only tier-1 ASes has no tier-2 hosts.
 	if err := d.Place(g, 1); err == nil {
 		t.Error("want error when no tier-2 candidates exist")
@@ -187,7 +197,7 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 }
 
 func TestSortedLettersAndNames(t *testing.T) {
-	d := RootDeployment(1)
+	d := mustDeployment(t, 1)
 	ls := d.SortedLetters()
 	if len(ls) != 13 || ls[0] != 'A' || ls[12] != 'M' {
 		t.Errorf("SortedLetters = %s", string(ls))

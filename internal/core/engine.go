@@ -42,6 +42,56 @@ type letterTick struct {
 // evaluated; unwrap it from Run errors with errors.Is.
 var ErrBadCapacity = errors.New("core: non-positive site capacity")
 
+// ErrWorkerPanic marks a panic recovered inside a letter worker. The
+// wrapping error names the letter and minute, so a poisoned model fails
+// the run with context instead of crashing the process.
+var ErrWorkerPanic = errors.New("core: letter worker panicked")
+
+// guard runs fn on behalf of a letter worker, converting a panic into a
+// wrapped error carrying the letter and minute.
+func (ev *Evaluator) guard(ls *letterState, minute int, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: letter %c at minute %d: %v: %w",
+				ls.letter.Letter, minute, r, ErrWorkerPanic)
+		}
+	}()
+	return fn()
+}
+
+// applyFaultOverlay refreshes the letter's effective announcement vector
+// (router intent masked by fault-forced outages and link flaps) for a
+// minute, returning whether it changed since the last refresh. Without a
+// fault plan the overlay stays nil and every consumer reads ls.active
+// directly, keeping fault-free runs byte-identical to pre-fault builds.
+func (ev *Evaluator) applyFaultOverlay(ls *letterState, minute int) bool {
+	if ev.flt == nil {
+		return false
+	}
+	first := ls.effActive == nil
+	if first {
+		ls.effActive = make([]bool, len(ls.active))
+	}
+	changed := false
+	lb := ls.letter.Letter
+	for oi := range ls.active {
+		up := ls.active[oi]
+		if up {
+			site := ls.states[oi].site
+			if ev.flt.SiteForcedDown(lb, site, ls.uplinkOrd[oi], ls.siteUplinks[site], minute) {
+				up = false
+			}
+		}
+		if ls.effActive[oi] != up {
+			ls.effActive[oi] = up
+			changed = true
+		}
+	}
+	// The first refresh populates the overlay before any epoch exists;
+	// only report a change when an epoch must be recomputed.
+	return changed && !first
+}
+
 // RunContext executes the minute loop under a context. It must be called
 // exactly once before Probe/Dataset accessors; cancellation returns an
 // error wrapping ctx.Err() and naming the minute reached, and leaves the
@@ -69,10 +119,22 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 	}
 
 	// Initial routing epochs; no collector observations (nothing to diff
-	// against yet), so order across letters does not matter.
+	// against yet), so order across letters does not matter. The fault
+	// overlay must be in place before the first epoch so minute-0 faults
+	// shape the initial catchments.
+	initErrs := make([]error, len(states))
 	ev.forEachLetter(workers, states, func(ls *letterState) {
-		ev.computeEpoch(ls, 0)
+		initErrs[ls.index] = ev.guard(ls, 0, func() error {
+			ev.applyFaultOverlay(ls, 0)
+			ev.computeEpoch(ls, 0)
+			return nil
+		})
 	})
+	for _, err := range initErrs {
+		if err != nil {
+			return err
+		}
+	}
 
 	events := ev.sched.Events
 	ticks := make([]letterTick, len(states))
@@ -86,9 +148,13 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 		evIdx := ev.sched.Active(minute)
 
 		// Pass 1: per-letter site states, sharded over the worker pool.
+		// guard turns a panicking letter into an error surfaced at the
+		// barrier below.
 		ev.forEachLetter(workers, states, func(ls *letterState) {
 			tick := &ticks[ls.index]
-			tick.err = ev.stepLetter(ls, minute, evIdx, events, tick)
+			tick.err = ev.guard(ls, minute, func() error {
+				return ev.stepLetter(ls, minute, evIdx, events, tick)
+			})
 		})
 
 		// Barrier: merge cross-letter state in letter order, replaying the
@@ -145,7 +211,14 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 				rec.AttackQueryBytes = events[evIdx].QueryBytes
 				rec.AttackResponseBytes = events[evIdx].ResponseBytes
 			}
-			ev.RSSAC.Record(lb, rec)
+			if ev.flt != nil && ev.flt.MonitorGapAt(lb, minute) {
+				// The letter's RSSAC-002 measurement is down: the minute
+				// goes missing from the daily report (the paper's §2.4
+				// data holes) instead of being recorded as zeros.
+				ev.RSSAC.RecordGap(lb, minute)
+			} else {
+				ev.RSSAC.Record(lb, rec)
+			}
 		}
 
 		if ev.opts.progress != nil {
@@ -190,6 +263,12 @@ func (ev *Evaluator) stepLetter(ls *letterState, minute, evIdx int, events []att
 	tick.recomputed = false
 
 	lb := ls.letter.Letter
+	// A fault window opening or closing at this minute changes the
+	// effective announcements: recompute routing before serving traffic.
+	if ev.applyFaultOverlay(ls, minute) {
+		ev.computeEpoch(ls, minute)
+		tick.recomputed = true
+	}
 	ep := ls.epochAt(minute)
 	attacked := evIdx >= 0 && ev.sched.Targeted(lb)
 	var attackQPS float64
@@ -213,11 +292,29 @@ func (ev *Evaluator) stepLetter(ls *letterState, minute, evIdx int, events []att
 			return fmt.Errorf("core: letter %c site %d (%s) at minute %d: capacity %v: %w",
 				lb, si, site.Code, minute, site.CapacityQPS, ErrBadCapacity)
 		}
+		capQPS := site.CapacityQPS
+		if ev.flt != nil {
+			// CapacityDegrade: part of the site's serving capacity is
+			// gone (the compiled factor never reaches zero).
+			capQPS *= ev.flt.CapacityFactor(lb, si, minute)
+		}
 		load := netsim.Load{
 			LegitQPS:  ep.LegitFrac[si] * ls.letter.NormalQPS,
 			AttackQPS: ep.AttackFrac[si] * attackQPS,
 		}
-		st := netsim.Evaluate(site.CapacityQPS, load, ev.Cfg.Netsim)
+		st, err := netsim.Evaluate(capQPS, load, ev.Cfg.Netsim)
+		if err != nil {
+			return fmt.Errorf("core: letter %c site %d (%s) at minute %d: %w",
+				lb, si, site.Code, minute, err)
+		}
+		if ev.flt != nil {
+			// PacketLossBurst: extra path loss toward the site, composed
+			// with the queue model's own loss as independent processes.
+			if xl := ev.flt.ExtraLossFrac(lb, si, minute); xl > 0 {
+				st.LossFrac = 1 - (1-st.LossFrac)*(1-xl)
+				st.ServedQPS = st.OfferedQPS * (1 - st.LossFrac)
+			}
+		}
 		if site.ShallowBuffers && st.ExtraDelayMs > 60 {
 			st.ExtraDelayMs = 60
 		}
@@ -244,6 +341,7 @@ func (ev *Evaluator) stepLetter(ls *letterState, minute, evIdx int, events []att
 	}
 	// Step announcement state machines.
 	changed := false
+	act := ls.effective()
 	for oi := range ls.states {
 		os := &ls.states[oi]
 		u := utilization[os.site]
@@ -257,7 +355,7 @@ func (ev *Evaluator) stepLetter(ls *letterState, minute, evIdx int, events []att
 				}
 			}
 		}
-		if !ls.active[oi] {
+		if !act[oi] {
 			u = 0
 		}
 		if os.router.Step(minute, u) {
@@ -265,11 +363,13 @@ func (ev *Evaluator) stepLetter(ls *letterState, minute, evIdx int, events []att
 		}
 		ls.active[oi] = os.router.Announced()
 	}
-	// H-Root primary/backup: activate the backup while the primary is down.
+	// H-Root primary/backup: activate the backup while the primary is
+	// down (fault-forced primary outages count as down).
 	if ls.letter.PrimaryBackup && len(ls.letter.Sites) >= 2 {
 		primaryUp := false
 		for oi, o := range ls.origins {
-			if o.Site == 0 && ls.active[oi] {
+			if o.Site == 0 && ls.active[oi] &&
+				(ev.flt == nil || !ev.flt.SiteForcedDown(lb, 0, ls.uplinkOrd[oi], ls.siteUplinks[0], minute)) {
 				primaryUp = true
 			}
 		}
@@ -289,6 +389,9 @@ func (ev *Evaluator) stepLetter(ls *letterState, minute, evIdx int, events []att
 		}
 	}
 	if changed {
+		// Router state moved; refresh the overlay so the new epoch sees
+		// intent and faults as of the minute the epoch takes effect.
+		ev.applyFaultOverlay(ls, minute+1)
 		ev.computeEpoch(ls, minute+1)
 		tick.recomputed = true
 	}

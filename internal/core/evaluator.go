@@ -12,6 +12,7 @@ import (
 	"github.com/rootevent/anycastddos/internal/bgpmon"
 	"github.com/rootevent/anycastddos/internal/bgpsim"
 	"github.com/rootevent/anycastddos/internal/chaos"
+	"github.com/rootevent/anycastddos/internal/faults"
 	"github.com/rootevent/anycastddos/internal/geo"
 	"github.com/rootevent/anycastddos/internal/netsim"
 	"github.com/rootevent/anycastddos/internal/rssac"
@@ -154,6 +155,15 @@ type letterState struct {
 	// index is the letter's position in SortedLetters order; the engine's
 	// barrier merges cross-letter contributions in this order.
 	index int
+	// effActive is active masked by the fault overlay (nil when the run
+	// has no fault plan, so fault-free runs take the exact pre-fault
+	// code paths). Routing and service computations read effective().
+	effActive []bool
+	// uplinkOrd[oi] is the origin's site-local uplink ordinal and
+	// siteUplinks[site] the site's uplink count — the coordinates
+	// faults.Compiled.SiteForcedDown addresses link flaps by.
+	uplinkOrd   []int
+	siteUplinks []int
 	// util is per-minute scratch (one slot per site), reused across
 	// minutes to keep the hot loop allocation-free.
 	util []float64
@@ -187,6 +197,10 @@ type Evaluator struct {
 	letters map[byte]*letterState
 	sched   *attack.Schedule
 	opts    options
+	// flt is the compiled fault plan (nil when faults are disabled).
+	// All its lookups are read-only and per-letter, which is what keeps
+	// worker-count equivalence intact under injection.
+	flt *faults.Compiled
 
 	// clientWeights is Clients.Weights flattened into ascending-ASN order:
 	// catchment shares are float sums, and a fixed iteration order is what
@@ -246,7 +260,10 @@ func NewEvaluator(cfg Config, opts ...Option) (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	dep := anycast.RootDeployment(cfg.Seed)
+	dep, err := anycast.RootDeployment(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.ForcePolicy != nil {
 		for _, l := range dep.Letters {
 			for _, s := range l.Sites {
@@ -294,7 +311,29 @@ func NewEvaluator(cfg Config, opts ...Option) (*Evaluator, error) {
 	}
 	ev.buildCaches()
 	ev.buildLetterStates()
+	if o.faults != nil {
+		shape := faults.Shape{Minutes: cfg.Minutes, Sites: make(map[byte]int, len(dep.Letters))}
+		for _, l := range dep.Letters {
+			shape.Sites[l.Letter] = len(l.Sites)
+		}
+		flt, err := faults.Compile(o.faults, shape)
+		if err != nil {
+			return nil, fmt.Errorf("core: fault plan: %w", err)
+		}
+		if !flt.Empty() {
+			ev.flt = flt
+		}
+	}
 	return ev, nil
+}
+
+// FaultPlan returns the injected fault plan, or nil when the evaluator
+// runs fault-free.
+func (ev *Evaluator) FaultPlan() *faults.Plan {
+	if ev.flt == nil {
+		return nil
+	}
+	return ev.flt.Plan()
 }
 
 func (ev *Evaluator) buildCaches() {
@@ -393,6 +432,12 @@ func (ev *Evaluator) buildLetterStates() {
 			}
 		}
 		nSites := len(l.Sites)
+		ls.uplinkOrd = make([]int, len(ls.origins))
+		ls.siteUplinks = make([]int, nSites)
+		for oi, o := range ls.origins {
+			ls.uplinkOrd[oi] = ls.siteUplinks[o.Site]
+			ls.siteUplinks[o.Site]++
+		}
 		ls.loss = make([][]float32, nSites)
 		ls.delay = make([][]float32, nSites)
 		ls.hasRoute = make([][]bool, nSites)
@@ -418,7 +463,7 @@ func (ev *Evaluator) buildLetterStates() {
 // to the BGP collector (the only shared sink). Safe to call from an engine
 // worker: it reads only immutable evaluator state and writes only ls.
 func (ev *Evaluator) computeEpoch(ls *letterState, minute int) {
-	table := bgpsim.Compute(ev.Graph, ls.origins, ls.active)
+	table := bgpsim.Compute(ev.Graph, ls.origins, ls.effective())
 	nSites := len(ls.letter.Sites)
 	legit := make([]float64, nSites)
 	attackShare := make([]float64, nSites)
@@ -448,9 +493,22 @@ func (ev *Evaluator) computeEpoch(ls *letterState, minute int) {
 	ep := epoch{Start: minute, Table: table, LegitFrac: legit, AttackFrac: attackShare}
 	if len(ls.epochs) > 0 {
 		prev := ls.epochs[len(ls.epochs)-1]
-		ls.pending = bgpsim.Diff(prev.Table, table)
+		// Append rather than overwrite: a fault transition and a router
+		// change can both recompute within the same minute, and the
+		// collector must see both diffs.
+		ls.pending = append(ls.pending, bgpsim.Diff(prev.Table, table)...)
 	}
 	ls.epochs = append(ls.epochs, ep)
+}
+
+// effective returns the announcement vector routing should see: active
+// masked by the fault overlay when a plan is injected, active itself
+// otherwise.
+func (ls *letterState) effective() []bool {
+	if ls.effActive != nil {
+		return ls.effActive
+	}
+	return ls.active
 }
 
 // epochAt returns the routing epoch in force at a minute.
@@ -550,10 +608,12 @@ func (ev *Evaluator) buildNLSeries() {
 	}
 }
 
-// siteAnnounced reports whether any of a site's uplinks is announced.
+// siteAnnounced reports whether any of a site's uplinks is announced
+// (fault overlay included).
 func (ev *Evaluator) siteAnnounced(ls *letterState, site int) bool {
+	act := ls.effective()
 	for oi, o := range ls.origins {
-		if o.Site == site && ls.active[oi] {
+		if o.Site == site && act[oi] {
 			return true
 		}
 	}
@@ -614,6 +674,12 @@ func (ev *Evaluator) coin(vp atlas.VPID, letter byte, minute int, salt uint64) f
 func (ev *Evaluator) ProbeOutcome(vp *atlas.VP, letter byte, minute int) atlas.Outcome {
 	if minute >= ev.Cfg.Minutes {
 		minute = ev.Cfg.Minutes - 1
+	}
+	// A churned vantage point is disconnected from the measurement
+	// platform entirely: no probe is recorded for any letter, leaving a
+	// NoData gap in the dataset (atlas recording skips NoData).
+	if ev.flt != nil && ev.flt.VPDown(int32(vp.ID), minute) {
+		return atlas.Outcome{Status: atlas.NoData}
 	}
 	if vp.Hijacked {
 		// A third-party resolver intercepts the query: instant bogus

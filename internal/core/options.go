@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"github.com/rootevent/anycastddos/internal/attack"
+	"github.com/rootevent/anycastddos/internal/faults"
 )
 
 // Stage names reported through Progress.
@@ -33,6 +34,7 @@ type options struct {
 	ctx      context.Context
 	progress ProgressFunc
 	schedule *attack.Schedule
+	faults   *faults.Plan
 }
 
 func defaultOptions() options {
@@ -85,4 +87,16 @@ func WithProgress(fn ProgressFunc) Option {
 // WithSchedule selects the attack scenario, overriding Config.Schedule.
 func WithSchedule(s *attack.Schedule) Option {
 	return func(o *options) { o.schedule = s }
+}
+
+// WithFaults injects a deterministic fault plan into the run: site
+// outages and link flaps are applied to the announcement state before
+// each minute's routing, capacity degrades and loss bursts inside the
+// queue model, VP churn in the measurement plane, and monitor gaps in
+// RSSAC recording. Fault effects are pure per-letter functions of the
+// plan, so worker-count equivalence is preserved: the same plan and seed
+// produce byte-identical output at any worker count. A nil plan disables
+// injection.
+func WithFaults(p *faults.Plan) Option {
+	return func(o *options) { o.faults = p }
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/rootevent/anycastddos/internal/attack"
+	"github.com/rootevent/anycastddos/internal/faults"
 	"github.com/rootevent/anycastddos/internal/topo"
 )
 
@@ -34,9 +35,10 @@ type runFingerprint struct {
 	nl          [][]float64
 }
 
-func fingerprint(t *testing.T, seed int64, workers int) runFingerprint {
+func fingerprint(t *testing.T, seed int64, workers int, extra ...Option) runFingerprint {
 	t.Helper()
-	ev, err := NewEvaluator(tinyConfig(seed), WithWorkers(workers))
+	opts := append([]Option{WithWorkers(workers)}, extra...)
+	ev, err := NewEvaluator(tinyConfig(seed), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,6 +101,41 @@ func TestParallelEngineEquivalence(t *testing.T) {
 	// Different seeds must still diverge.
 	if fingerprint(t, 1, 4).datasetHash == fingerprint(t, 42, 4).datasetHash {
 		t.Error("different seeds produced identical datasets")
+	}
+}
+
+// TestParallelEngineEquivalenceWithFaults extends the golden-equivalence
+// guarantee to faulted runs: a heavy random fault plan must not introduce
+// any worker-count dependence, and must actually change the output.
+func TestParallelEngineEquivalenceWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full engine runs")
+	}
+	plan := faults.RandomPlan(11, faults.HeavyProfile())
+	withFaults := WithFaults(plan)
+	base := fingerprint(t, 1, 1, withFaults)
+	for _, workers := range []int{2, 4, 8} {
+		got := fingerprint(t, 1, workers, withFaults)
+		if got.datasetHash != base.datasetHash {
+			t.Errorf("workers %d: faulted dataset differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(got.updates, base.updates) {
+			t.Errorf("workers %d: faulted BGP update stream differs", workers)
+		}
+		if !reflect.DeepEqual(got.rssacK, base.rssacK) {
+			t.Errorf("workers %d: faulted RSSAC reports differ", workers)
+		}
+		if !reflect.DeepEqual(got.routesK0, base.routesK0) {
+			t.Errorf("workers %d: faulted route series differs", workers)
+		}
+		if !reflect.DeepEqual(got.nl, base.nl) {
+			t.Errorf("workers %d: faulted .nl series differs", workers)
+		}
+	}
+	// The plan must have observable effect — otherwise this test proves
+	// nothing about fault determinism.
+	if base.datasetHash == fingerprint(t, 1, 4).datasetHash {
+		t.Error("heavy fault plan left the dataset unchanged")
 	}
 }
 

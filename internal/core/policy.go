@@ -3,6 +3,13 @@
 // (policy.go) and the full two-day event reproduction (evaluator.go), which
 // drives topology, routing, traffic, and measurement together and exposes
 // the atlas.World interface the measurement platform probes against.
+//
+// Beyond the attack schedule itself, an evaluator can run under a seeded
+// fault plan (WithFaults, internal/faults): site outages, link flaps,
+// capacity degradations, VP churn, packet-loss bursts, and monitor gaps
+// are injected deterministically, and the run stays byte-identical across
+// worker counts. Worker panics never escape Run — they surface as errors
+// wrapping ErrWorkerPanic that name the letter and minute.
 package core
 
 import (

@@ -46,7 +46,14 @@ func (c *ThresholdWithdraw) Decide(minute int, sites []SiteObs) []bool {
 	out := make([]bool, len(sites))
 	for i, s := range sites {
 		if !s.Announced {
-			if c.down[i] >= 0 && minute-c.down[i] >= c.Cooldown {
+			if c.down[i] < 0 {
+				// The site is down but not by our hand (an injected fault
+				// withdrew it). Keep wanting it up so it returns the moment
+				// the fault clears.
+				out[i] = true
+				continue
+			}
+			if minute-c.down[i] >= c.Cooldown {
 				out[i] = true
 				c.down[i] = -1
 				c.over[i] = 0

@@ -16,9 +16,16 @@ import (
 	"fmt"
 
 	"github.com/rootevent/anycastddos/internal/bgpsim"
+	"github.com/rootevent/anycastddos/internal/faults"
 	"github.com/rootevent/anycastddos/internal/netsim"
 	"github.com/rootevent/anycastddos/internal/topo"
 )
+
+// FaultLetter is the letter key defense scenarios use when compiling
+// fault plans: scenarios have no root letter of their own, so plan
+// events must target FaultLetter (or faults.AnyLetter) with the
+// scenario's site indices.
+const FaultLetter byte = '*'
 
 // SiteObs is what a controller may observe about one site for one minute —
 // exactly the operator-visible signals the paper lists in §2.2 (offered
@@ -53,6 +60,10 @@ type Scenario struct {
 	EventStart  int
 	EventEnd    int
 	Netsim      netsim.Config
+	// Faults optionally injects deterministic failures (site outages,
+	// link flaps, capacity degrades, loss bursts) on top of the attack.
+	// Events target FaultLetter; site indices are scenario site indices.
+	Faults *faults.Plan
 }
 
 // Validate checks scenario invariants.
@@ -82,29 +93,78 @@ type Outcome struct {
 	ServedLegitFrac float64
 	// WorstMinuteFrac is the worst single-minute served fraction.
 	WorstMinuteFrac float64
-	// RouteChanges counts announcement flips (BGP churn cost).
+	// RouteChanges counts announcement flips (BGP churn cost),
+	// controller-driven and fault-driven alike.
 	RouteChanges int
 	// UnservedASMinutes counts (AS, minute) pairs with no route at all.
 	UnservedASMinutes int
+	// FinalAnnounced is the effective per-site announcement state after
+	// the last minute, faults included — lets tests assert that sites
+	// return once a fault window clears.
+	FinalAnnounced []bool
 }
 
 // Evaluate runs the controller through the scenario.
+//
+// The controller steers intent; injected faults mask it. The effective
+// announcement of a site is "controller wants it up AND no fault forces
+// it down", so a site withdrawn by a fault returns automatically when
+// the fault clears (if the controller still wants it).
 func Evaluate(sc *Scenario, ctrl Controller) (*Outcome, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(sc.Origins)
-	announced := make([]bool, n)
-	for i := range announced {
-		announced[i] = true
+	var flt *faults.Compiled
+	if sc.Faults != nil {
+		c, err := faults.Compile(sc.Faults, faults.Shape{
+			Minutes: sc.Minutes,
+			Sites:   map[byte]int{FaultLetter: n},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("defense: fault plan: %w", err)
+		}
+		flt = c
 	}
+	forcedDown := func(i, minute int) bool {
+		return flt != nil && flt.SiteForcedDown(FaultLetter, i, 0, 1, minute)
+	}
+
+	intent := make([]bool, n)
+	for i := range intent {
+		intent[i] = true
+	}
+	announced := make([]bool, n)
+	out := &Outcome{Controller: ctrl.Name()}
+	// refresh recomputes the effective announcements for a minute and
+	// counts the flips; flips from fault windows and from controller
+	// decisions are both BGP churn.
+	refresh := func(minute int, countChanges bool) bool {
+		changed := false
+		for i := range intent {
+			eff := intent[i] && !forcedDown(i, minute)
+			if eff != announced[i] {
+				announced[i] = eff
+				changed = true
+				if countChanges {
+					out.RouteChanges++
+				}
+			}
+		}
+		return changed
+	}
+	refresh(0, false) // initial state is not churn
 	table := bgpsim.Compute(sc.Graph, sc.Origins, announced)
 
-	out := &Outcome{Controller: ctrl.Name()}
 	var servedSum, offeredSum float64
 	worst := 1.0
 
 	for minute := 0; minute < sc.Minutes; minute++ {
+		// Fault windows opening or closing at this minute change routing
+		// before any traffic is served.
+		if refresh(minute, true) {
+			table = bgpsim.Compute(sc.Graph, sc.Origins, announced)
+		}
 		inEvent := minute >= sc.EventStart && minute < sc.EventEnd
 		// Per-site loads under current routing.
 		legit := make([]float64, n)
@@ -134,7 +194,20 @@ func Evaluate(sc *Scenario, ctrl Controller) (*Outcome, error) {
 			if !announced[i] {
 				continue
 			}
-			st := netsim.Evaluate(sc.Capacity[i], netsim.Load{LegitQPS: legit[i], AttackQPS: attackLoad[i]}, sc.Netsim)
+			capQPS := sc.Capacity[i]
+			if flt != nil {
+				capQPS *= flt.CapacityFactor(FaultLetter, i, minute)
+			}
+			st, err := netsim.Evaluate(capQPS, netsim.Load{LegitQPS: legit[i], AttackQPS: attackLoad[i]}, sc.Netsim)
+			if err != nil {
+				return nil, fmt.Errorf("defense: site %d at minute %d: %w", i, minute, err)
+			}
+			if flt != nil {
+				if xl := flt.ExtraLossFrac(FaultLetter, i, minute); xl > 0 {
+					st.LossFrac = 1 - (1-st.LossFrac)*(1-xl)
+					st.ServedQPS = st.OfferedQPS * (1 - st.LossFrac)
+				}
+			}
 			obs[i].OfferedQPS = st.OfferedQPS
 			obs[i].ServedQPS = st.ServedQPS
 			frac := 1.0
@@ -158,7 +231,6 @@ func Evaluate(sc *Scenario, ctrl Controller) (*Outcome, error) {
 		if len(want) != n {
 			return nil, fmt.Errorf("defense: controller %q returned %d decisions for %d sites", ctrl.Name(), len(want), n)
 		}
-		changed := false
 		anyUp := false
 		for i := range want {
 			if want[i] {
@@ -169,14 +241,10 @@ func Evaluate(sc *Scenario, ctrl Controller) (*Outcome, error) {
 			// Never allow a controller to withdraw the whole service.
 			want[0] = true
 		}
-		for i := range want {
-			if want[i] != announced[i] {
-				announced[i] = want[i]
-				changed = true
-				out.RouteChanges++
-			}
-		}
-		if changed {
+		copy(intent, want)
+		// The controller's new intent (and any fault window boundary at
+		// minute+1) takes effect before the next minute's traffic.
+		if refresh(minute+1, true) {
 			table = bgpsim.Compute(sc.Graph, sc.Origins, announced)
 		}
 	}
@@ -184,5 +252,6 @@ func Evaluate(sc *Scenario, ctrl Controller) (*Outcome, error) {
 		out.ServedLegitFrac = servedSum / offeredSum
 	}
 	out.WorstMinuteFrac = worst
+	out.FinalAnnounced = append([]bool(nil), announced...)
 	return out, nil
 }

@@ -1,0 +1,115 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/bgpsim"
+	"github.com/rootevent/anycastddos/internal/faults"
+	"github.com/rootevent/anycastddos/internal/netsim"
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+func TestWithdrawReannouncesAfterLinkFlap(t *testing.T) {
+	sc := caseScenario(t, 0)
+	sc.Faults = &faults.Plan{
+		Name: "flap-site-1",
+		Events: []faults.Event{
+			{Kind: faults.LinkFlap, Start: 30, Duration: 30, Letter: FaultLetter, Site: 1},
+		},
+	}
+	out, err := Evaluate(sc, &ThresholdWithdraw{Trigger: 2, Hold: 3, Cooldown: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flap must register as churn (down at 30, back at 60)...
+	if out.RouteChanges < 2 {
+		t.Errorf("route changes = %d, want >= 2 (flap down + up)", out.RouteChanges)
+	}
+	// ...and the controller must not adopt the fault as its own withdrawal:
+	// once the flap clears the site has to come back.
+	for i, up := range out.FinalAnnounced {
+		if !up {
+			t.Errorf("site %d still withdrawn after fault window cleared", i)
+		}
+	}
+}
+
+func TestEvaluateRejectsBadFaultPlan(t *testing.T) {
+	sc := caseScenario(t, 0)
+	sc.Faults = &faults.Plan{Events: []faults.Event{
+		{Kind: faults.SiteOutage, Start: 10, Duration: 0, Letter: FaultLetter, Site: 0},
+	}}
+	_, err := Evaluate(sc, StaticAbsorb{})
+	if !errors.Is(err, faults.ErrBadPlan) {
+		t.Fatalf("err = %v, want ErrBadPlan", err)
+	}
+}
+
+// outageScenario is a flat five-site deployment with ~400 kq/s of
+// legitimate load against 5 x 150 kq/s of capacity and k of the sites
+// forced out for the [20, 100) window.
+func outageScenario(t *testing.T, k int) *Scenario {
+	t.Helper()
+	g, err := topo.Generate(topo.Config{Tier1s: 5, Tier2s: 40, Stubs: 500, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := g.StubASNs()
+	origins := make([]bgpsim.Origin, 5)
+	capacity := make([]float64, 5)
+	for i := range origins {
+		origins[i] = bgpsim.Origin{Site: i, Host: stubs[20+i*100]}
+		capacity[i] = 150_000
+	}
+	legit := map[topo.ASN]float64{}
+	rng := rand.New(rand.NewSource(3))
+	for _, asn := range stubs {
+		legit[asn] = 700 + rng.Float64()*200
+	}
+	plan := &faults.Plan{Name: fmt.Sprintf("outages-%d", k)}
+	for i := 0; i < k; i++ {
+		plan.Events = append(plan.Events, faults.Event{
+			Kind: faults.SiteOutage, Start: 20, Duration: 80,
+			Letter: FaultLetter, Site: i, Severity: 1,
+		})
+	}
+	return &Scenario{
+		Graph: g, Origins: origins, Capacity: capacity,
+		LegitPerAS: legit, AttackPerAS: map[topo.ASN]float64{},
+		Minutes: 120, EventStart: 20, EventEnd: 100,
+		Netsim: netsim.DefaultConfig(),
+		Faults: plan,
+	}
+}
+
+// TestAdaptiveDegradesGracefullyUnderOutages checks the robustness claim
+// the fault subsystem exists to test: as more sites are knocked out, the
+// adaptive controller's served fraction must degrade monotonically (the
+// waterbed absorbs what it can), not collapse.
+func TestAdaptiveDegradesGracefullyUnderOutages(t *testing.T) {
+	var fracs [4]float64
+	for k := 0; k <= 3; k++ {
+		out, err := Evaluate(outageScenario(t, k), &Adaptive{Interval: 5, MinGain: 0.02})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		fracs[k] = out.ServedLegitFrac
+		t.Logf("k=%d outages: served %.3f (worst minute %.3f, %d route changes)",
+			k, out.ServedLegitFrac, out.WorstMinuteFrac, out.RouteChanges)
+	}
+	for k := 0; k < 3; k++ {
+		if fracs[k+1] > fracs[k]+0.02 {
+			t.Errorf("served fraction rose with more outages: k=%d %.3f -> k=%d %.3f",
+				k, fracs[k], k+1, fracs[k+1])
+		}
+	}
+	if fracs[3] >= fracs[0] {
+		t.Errorf("three outages should cost service: %.3f >= %.3f", fracs[3], fracs[0])
+	}
+	if fracs[3] < 0.3 {
+		t.Errorf("degradation not graceful: served %.3f with 2/5 sites left", fracs[3])
+	}
+}

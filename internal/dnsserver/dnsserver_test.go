@@ -161,6 +161,8 @@ func TestRetryAfterTimeout(t *testing.T) {
 	p := NewProber(3)
 	p.Timeout = 150 * time.Millisecond
 	p.Retries = 16
+	p.Backoff = time.Millisecond // keep the 16-retry worst case fast
+	p.MaxBackoff = 5 * time.Millisecond
 	res, err := p.Probe(s.Addr(), 'K')
 	if err != nil {
 		t.Fatalf("probe with retries failed: %v", err)

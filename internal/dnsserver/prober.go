@@ -1,6 +1,7 @@
 package dnsserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -13,9 +14,11 @@ import (
 )
 
 // Prober issues measurement queries the way an Atlas VP does: one UDP CHAOS
-// TXT query per probe, a fixed timeout, and identity parsing of the reply.
+// TXT query per probe, a per-attempt deadline, capped exponential backoff
+// between retries, and identity parsing of the reply.
 type Prober struct {
-	// Timeout per probe attempt (Atlas uses 5 s).
+	// Timeout per probe attempt (Atlas uses 5 s). A context deadline
+	// shorter than this wins.
 	Timeout time.Duration
 	// Retries is the number of additional attempts after a timeout.
 	Retries int
@@ -23,14 +26,27 @@ type Prober struct {
 	// (the RRL slip path: TC=1 tells real clients to re-ask over a
 	// transport that cannot be spoofed).
 	FallbackTCP bool
+	// Backoff is the delay before the first retry; it doubles per retry
+	// up to MaxBackoff. The jitter multiplier (0.5-1.0x) is drawn from
+	// the prober's seed, so a seeded prober retries on a reproducible
+	// schedule. Zero disables backoff.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2 s when zero).
+	MaxBackoff time.Duration
 
 	mu  sync.Mutex
 	rng *rand.Rand
 }
 
-// NewProber creates a prober with the Atlas timeout and no retries.
+// NewProber creates a prober with the Atlas timeout, no retries, and a
+// 200 ms base backoff (felt only when Retries is raised).
 func NewProber(seed int64) *Prober {
-	return &Prober{Timeout: 5 * time.Second, rng: rand.New(rand.NewSource(seed))}
+	return &Prober{
+		Timeout:    5 * time.Second,
+		Backoff:    200 * time.Millisecond,
+		MaxBackoff: 2 * time.Second,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
 }
 
 // ProbeResult is the outcome of one probe.
@@ -55,14 +71,31 @@ var (
 	ErrBadReply = errors.New("dnsserver: malformed reply")
 )
 
+// aLongTimeAgo is a sentinel deadline in the past, used to wake a blocked
+// socket read when the context is canceled.
+var aLongTimeAgo = time.Unix(1, 0)
+
 // Probe sends a CHAOS hostname.bind TXT query for the given letter to addr.
 func (p *Prober) Probe(addr *net.UDPAddr, letter byte) (ProbeResult, error) {
+	return p.ProbeContext(context.Background(), addr, letter)
+}
+
+// ProbeContext is Probe under a context: cancellation interrupts a blocked
+// read or a backoff sleep immediately, returning an error that wraps
+// ctx.Err(). Each attempt still gets its own Timeout deadline, so a hung
+// server cannot stall a probe past min(Timeout, context deadline).
+func (p *Prober) ProbeContext(ctx context.Context, addr *net.UDPAddr, letter byte) (ProbeResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= p.Retries; attempt++ {
-		res, err := p.probeOnce(addr, letter)
+		if attempt > 0 {
+			if err := p.sleep(ctx, p.backoffDelay(attempt-1)); err != nil {
+				return ProbeResult{}, err
+			}
+		}
+		res, err := p.probeOnce(ctx, addr, letter)
 		if err == nil {
 			if res.Truncated && p.FallbackTCP {
-				if tcpRes, tcpErr := p.ProbeTCP(addr, letter); tcpErr == nil {
+				if tcpRes, tcpErr := p.ProbeTCPContext(ctx, addr, letter); tcpErr == nil {
 					return tcpRes, nil
 				}
 			}
@@ -76,28 +109,105 @@ func (p *Prober) Probe(addr *net.UDPAddr, letter byte) (ProbeResult, error) {
 	return ProbeResult{}, lastErr
 }
 
+// backoffDelay returns the jittered delay before retry number `retry`
+// (0-based): Backoff << retry capped at MaxBackoff, scaled by a seeded
+// 0.5-1.0x jitter so synchronized probers do not retry in lockstep.
+func (p *Prober) backoffDelay(retry int) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		return 0
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < retry && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	p.mu.Lock()
+	jitter := 0.5 + 0.5*p.rng.Float64()
+	p.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleep waits for d, or returns early (wrapping ctx.Err) on cancellation.
+func (p *Prober) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("dnsserver: probe canceled: %w", err)
+		}
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("dnsserver: probe canceled: %w", ctx.Err())
+	case <-timer.C:
+		return nil
+	}
+}
+
+// attemptDeadline computes one attempt's absolute deadline: start+Timeout,
+// clipped by the context deadline when that is sooner.
+func (p *Prober) attemptDeadline(ctx context.Context, start time.Time) time.Time {
+	deadline := start.Add(p.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	return deadline
+}
+
+// finishErr maps a socket error at the end of an attempt: a deadline hit
+// becomes ErrTimeout, unless the context was the cause. The socket
+// deadline can fire a tick before the context's own timer, so an expired
+// context deadline is checked by clock, not only via ctx.Err().
+func finishErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("dnsserver: probe canceled: %w", cerr)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			return fmt.Errorf("dnsserver: probe canceled: %w", context.DeadlineExceeded)
+		}
+		return ErrTimeout
+	}
+	return err
+}
+
 // ProbeTCP performs the identity query over DNS-over-TCP.
 func (p *Prober) ProbeTCP(addr *net.UDPAddr, letter byte) (ProbeResult, error) {
+	return p.ProbeTCPContext(context.Background(), addr, letter)
+}
+
+// ProbeTCPContext is ProbeTCP under a context.
+func (p *Prober) ProbeTCPContext(ctx context.Context, addr *net.UDPAddr, letter byte) (ProbeResult, error) {
 	d := net.Dialer{Timeout: p.Timeout}
-	conn, err := d.Dial("tcp", addr.String())
+	conn, err := d.DialContext(ctx, "tcp", addr.String())
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return ProbeResult{}, fmt.Errorf("dnsserver: probe canceled: %w", cerr)
+		}
 		return ProbeResult{}, fmt.Errorf("dnsserver: tcp dial: %w", err)
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(p.Timeout)); err != nil {
+	start := time.Now()
+	if err := conn.SetDeadline(p.attemptDeadline(ctx, start)); err != nil {
 		return ProbeResult{}, err
 	}
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(aLongTimeAgo) })
+	defer stop()
 	p.mu.Lock()
 	id := uint16(p.rng.Intn(1 << 16))
 	p.mu.Unlock()
-	start := time.Now()
 	resp, err := dnswire.ExchangeTCP(conn, dnswire.NewQuery(id, "hostname.bind", dnswire.TypeTXT, dnswire.ClassCHAOS))
 	if err != nil {
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			return ProbeResult{}, ErrTimeout
-		}
-		return ProbeResult{}, err
+		return ProbeResult{}, finishErr(ctx, err)
 	}
 	res := ProbeResult{RTT: time.Since(start), RCode: resp.Header.RCode, ViaTCP: true}
 	for _, rr := range resp.Answers {
@@ -118,12 +228,18 @@ func (p *Prober) ProbeTCP(addr *net.UDPAddr, letter byte) (ProbeResult, error) {
 	return res, nil
 }
 
-func (p *Prober) probeOnce(addr *net.UDPAddr, letter byte) (ProbeResult, error) {
+func (p *Prober) probeOnce(ctx context.Context, addr *net.UDPAddr, letter byte) (ProbeResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ProbeResult{}, fmt.Errorf("dnsserver: probe canceled: %w", err)
+	}
 	conn, err := net.DialUDP("udp", nil, addr)
 	if err != nil {
 		return ProbeResult{}, fmt.Errorf("dnsserver: dial: %w", err)
 	}
 	defer conn.Close()
+	// Cancellation must wake a read blocked inside the attempt window.
+	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(aLongTimeAgo) })
+	defer stop()
 
 	p.mu.Lock()
 	id := uint16(p.rng.Intn(1 << 16))
@@ -138,18 +254,14 @@ func (p *Prober) probeOnce(addr *net.UDPAddr, letter byte) (ProbeResult, error) 
 	if _, err := conn.Write(pkt); err != nil {
 		return ProbeResult{}, fmt.Errorf("dnsserver: send: %w", err)
 	}
-	if err := conn.SetReadDeadline(start.Add(p.Timeout)); err != nil {
+	if err := conn.SetReadDeadline(p.attemptDeadline(ctx, start)); err != nil {
 		return ProbeResult{}, err
 	}
 	buf := make([]byte, 4096)
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				return ProbeResult{}, ErrTimeout
-			}
-			return ProbeResult{}, err
+			return ProbeResult{}, finishErr(ctx, err)
 		}
 		rtt := time.Since(start)
 		resp, err := dnswire.Decode(buf[:n])
@@ -183,11 +295,26 @@ func (p *Prober) probeOnce(addr *net.UDPAddr, letter byte) (ProbeResult, error) 
 // observed — the CHAOS catchment-mapping methodology of §2.1, usable
 // against live in-process servers.
 func (p *Prober) MapCatchment(addrs []*net.UDPAddr, letter byte) (map[string]int, error) {
+	return p.MapCatchmentContext(context.Background(), addrs, letter)
+}
+
+// MapCatchmentContext is MapCatchment under a context. On cancellation it
+// stops probing immediately and returns the partial tallies together with
+// an error naming how far the sweep got.
+func (p *Prober) MapCatchmentContext(ctx context.Context, addrs []*net.UDPAddr, letter byte) (map[string]int, error) {
 	sites := make(map[string]int)
 	var firstErr error
-	for _, a := range addrs {
-		res, err := p.Probe(a, letter)
+	for done, a := range addrs {
+		if cerr := ctx.Err(); cerr != nil {
+			return sites, fmt.Errorf("dnsserver: catchment mapping stopped after %d/%d probes: %w",
+				done, len(addrs), cerr)
+		}
+		res, err := p.ProbeContext(ctx, a, letter)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return sites, fmt.Errorf("dnsserver: catchment mapping stopped after %d/%d probes: %w",
+					done, len(addrs), err)
+			}
 			if firstErr == nil {
 				firstErr = err
 			}

@@ -53,9 +53,10 @@ type Server struct {
 	limiter  *rrl.Limiter
 	start    time.Time
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	closed bool
+	mu       sync.Mutex
+	rng      *rand.Rand
+	closed   bool
+	tcpConns map[net.Conn]struct{}
 
 	wg sync.WaitGroup
 
@@ -106,7 +107,9 @@ func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) 
 // Identity returns the CHAOS identity string this server reports.
 func (s *Server) Identity() string { return s.identity }
 
-// Close stops the server and waits for the read loop to exit.
+// Close drains the server: it stops accepting new work, wakes every
+// blocked read, waits for in-flight requests to finish (their replies are
+// still delivered), then releases the sockets.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -115,13 +118,30 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	tcpLn := s.tcpLn
+	// Nudge the read side of every live TCP connection; handlers that
+	// already read a query finish writing before they notice. Done under
+	// mu so a handler cannot re-arm its idle deadline over the nudge
+	// (handlers set deadlines under mu after re-checking closed).
+	for c := range s.tcpConns {
+		c.SetReadDeadline(aLongTimeAgo)
+	}
 	s.mu.Unlock()
-	err := s.conn.Close()
+
+	// Wake the UDP read loop without closing the socket, so a request
+	// already being handled can still write its reply.
+	s.conn.SetReadDeadline(aLongTimeAgo)
 	if tcpLn != nil {
 		tcpLn.Close()
 	}
 	s.wg.Wait()
-	return err
+	return s.conn.Close()
+}
+
+// isClosed reports whether Close has begun.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // Stats returns cumulative request accounting.
@@ -138,7 +158,14 @@ func (s *Server) serve() {
 	for {
 		n, src, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
-			return // closed
+			if s.isClosed() {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue // stray deadline; keep serving
+			}
+			return
 		}
 		s.mu.Lock()
 		s.received++

@@ -35,6 +35,19 @@ func (s *Server) serveTCP(ln *net.TCPListener) {
 		if err != nil {
 			return // closed
 		}
+		// Track the connection so Close can wake its blocked reads while
+		// letting an in-flight reply finish (graceful drain).
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if s.tcpConns == nil {
+			s.tcpConns = make(map[net.Conn]struct{})
+		}
+		s.tcpConns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handleTCPConn(conn)
 	}
@@ -45,11 +58,25 @@ const tcpIdleTimeout = 5 * time.Second
 
 func (s *Server) handleTCPConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.tcpConns, conn)
+		s.mu.Unlock()
+	}()
 	var buf []byte
 	out := make([]byte, 0, 1024)
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
+		// Re-arm the idle deadline under mu so it cannot overwrite the
+		// past-deadline nudge a concurrent Close just applied.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout))
+		s.mu.Unlock()
+		if err != nil {
 			return
 		}
 		raw, err := dnswire.ReadTCP(conn, buf)

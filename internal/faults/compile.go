@@ -1,0 +1,203 @@
+package faults
+
+import (
+	"fmt"
+)
+
+// Shape describes the deployment a plan is compiled against: the run's
+// minute horizon and each letter's site count. Compilation resolves
+// wildcard letters and normalizes site indices so lookups during the run
+// are cheap and allocation-free.
+type Shape struct {
+	Minutes int
+	Sites   map[byte]int // letter -> number of sites
+}
+
+// letterFaults holds a letter's events bucketed by kind, with Site
+// already normalized into [0, nSites) (or AnySite).
+type letterFaults struct {
+	outages  []Event
+	flaps    []Event
+	degrades []Event
+	bursts   []Event
+	gaps     []Event
+}
+
+// Compiled is a plan resolved against a shape. All lookup methods are
+// read-only and safe for concurrent use from letter workers — events are
+// pure data, so a faulted run stays byte-identical at any worker count.
+type Compiled struct {
+	plan     *Plan
+	byLetter map[byte]*letterFaults
+	churns   []Event // VPChurn is global to the measurement population
+}
+
+// Compile validates a plan and resolves it against a shape. Events whose
+// Letter is AnyLetter expand to every letter of the shape; events naming
+// a letter absent from the shape are dropped (plans are written against
+// the full root deployment but also compile against the defense
+// harness's single pseudo-letter). Events entirely past the horizon are
+// kept but never active.
+func Compile(p *Plan, sh Shape) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if sh.Minutes < 1 {
+		return nil, fmt.Errorf("%w: shape minutes %d", ErrBadPlan, sh.Minutes)
+	}
+	c := &Compiled{plan: p, byLetter: make(map[byte]*letterFaults)}
+	if p == nil {
+		return c, nil
+	}
+	for _, e := range p.Events {
+		if e.Kind == VPChurn {
+			c.churns = append(c.churns, e)
+			continue
+		}
+		var targets []byte
+		if e.Letter == AnyLetter {
+			for l := range sh.Sites {
+				targets = append(targets, l)
+			}
+		} else if _, ok := sh.Sites[e.Letter]; ok {
+			targets = []byte{e.Letter}
+		}
+		for _, l := range targets {
+			lf := c.byLetter[l]
+			if lf == nil {
+				lf = &letterFaults{}
+				c.byLetter[l] = lf
+			}
+			ev := e
+			if ev.Site != AnySite {
+				if n := sh.Sites[l]; n > 0 {
+					ev.Site %= n
+				}
+			}
+			switch ev.Kind {
+			case SiteOutage:
+				lf.outages = append(lf.outages, ev)
+			case LinkFlap:
+				lf.flaps = append(lf.flaps, ev)
+			case CapacityDegrade:
+				lf.degrades = append(lf.degrades, ev)
+			case PacketLossBurst:
+				lf.bursts = append(lf.bursts, ev)
+			case MonitorGap:
+				lf.gaps = append(lf.gaps, ev)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Plan returns the source plan.
+func (c *Compiled) Plan() *Plan { return c.plan }
+
+// Empty reports whether the compiled plan has no events at all.
+func (c *Compiled) Empty() bool { return len(c.byLetter) == 0 && len(c.churns) == 0 }
+
+func matches(e Event, site int) bool { return e.Site == AnySite || e.Site == site }
+
+// SiteForcedDown reports whether a fault forces the given uplink of a
+// letter's site down at a minute: a SiteOutage downs every uplink of the
+// site, a LinkFlap downs the single uplink its event seed selects.
+// uplink is the site-local uplink ordinal in [0, nUplinks).
+func (c *Compiled) SiteForcedDown(letter byte, site, uplink, nUplinks, minute int) bool {
+	lf := c.byLetter[letter]
+	if lf == nil {
+		return false
+	}
+	for _, e := range lf.outages {
+		if e.ActiveAt(minute) && matches(e, site) {
+			return true
+		}
+	}
+	for _, e := range lf.flaps {
+		if !e.ActiveAt(minute) || !matches(e, site) {
+			continue
+		}
+		if nUplinks <= 1 || int(e.Seed%uint64(nUplinks)) == uplink {
+			return true
+		}
+	}
+	return false
+}
+
+// CapacityFactor returns the fraction of a site's capacity that remains
+// at a minute: overlapping CapacityDegrade events compose
+// multiplicatively, clamped so the site never reaches exactly zero
+// (SiteOutage is the kind that takes a site fully out).
+func (c *Compiled) CapacityFactor(letter byte, site, minute int) float64 {
+	lf := c.byLetter[letter]
+	if lf == nil {
+		return 1
+	}
+	f := 1.0
+	for _, e := range lf.degrades {
+		if e.ActiveAt(minute) && matches(e, site) {
+			f *= 1 - e.Severity
+		}
+	}
+	if f < 0.02 {
+		f = 0.02
+	}
+	return f
+}
+
+// ExtraLossFrac returns the additional path-loss fraction toward a
+// letter's site at a minute; overlapping PacketLossBurst events compose
+// as independent loss processes.
+func (c *Compiled) ExtraLossFrac(letter byte, site, minute int) float64 {
+	lf := c.byLetter[letter]
+	if lf == nil {
+		return 0
+	}
+	keep := 1.0
+	for _, e := range lf.bursts {
+		if e.ActiveAt(minute) && matches(e, site) {
+			keep *= 1 - e.Severity
+		}
+	}
+	return 1 - keep
+}
+
+// MonitorGapAt reports whether the letter's RSSAC-002 measurement is
+// down at a minute.
+func (c *Compiled) MonitorGapAt(letter byte, minute int) bool {
+	lf := c.byLetter[letter]
+	if lf == nil {
+		return false
+	}
+	for _, e := range lf.gaps {
+		if e.ActiveAt(minute) {
+			return true
+		}
+	}
+	return false
+}
+
+// VPDown reports whether a vantage point is disconnected at a minute.
+// Membership in a churn event is a stable per-(event, VP) hash coin, so
+// a churned VP stays down for the whole event window and reconnects when
+// it clears.
+func (c *Compiled) VPDown(vp int32, minute int) bool {
+	for _, e := range c.churns {
+		if !e.ActiveAt(minute) {
+			continue
+		}
+		if hashCoin(e.Seed, uint64(uint32(vp))) < e.Severity {
+			return true
+		}
+	}
+	return false
+}
+
+// hashCoin maps (seed, x) to a uniform float64 in [0, 1) via splitmix64.
+func hashCoin(seed, x uint64) float64 {
+	z := seed + x*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -8,10 +8,15 @@
 package geo
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ErrUnknownCity is returned by LookupErr for codes absent from the
+// built-in city table.
+var ErrUnknownCity = errors.New("geo: unknown city code")
 
 // Region groups cities into coarse continental regions. The RIPE Atlas VP
 // population is strongly Europe-biased (§2.4.1 of the paper); regions let the
@@ -179,8 +184,20 @@ func Lookup(code string) (City, bool) {
 	return cities[i], true
 }
 
+// LookupErr returns the city for an IATA code, or an error wrapping
+// ErrUnknownCity. Use it for codes that originate in configuration or
+// other external input; MustLookup is reserved for compile-time lists.
+func LookupErr(code string) (City, error) {
+	c, ok := Lookup(code)
+	if !ok {
+		return City{}, fmt.Errorf("%w: %q", ErrUnknownCity, code)
+	}
+	return c, nil
+}
+
 // MustLookup is Lookup for codes known at compile time; it panics on a
-// missing code so configuration errors surface immediately.
+// missing code so such programming errors surface immediately. Codes
+// that come from configuration must go through LookupErr instead.
 func MustLookup(code string) City {
 	c, ok := Lookup(code)
 	if !ok {

@@ -17,10 +17,17 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/rootevent/anycastddos/internal/anycast"
 )
+
+// ErrBadCapacity is returned by Evaluate for a non-positive capacity.
+// Capacity values can originate in configuration (and, with fault
+// injection, be scaled at runtime), so the model reports them as errors
+// instead of panicking.
+var ErrBadCapacity = errors.New("netsim: non-positive capacity")
 
 // Config holds the calibration constants of the queue model.
 type Config struct {
@@ -60,10 +67,11 @@ type State struct {
 }
 
 // Evaluate computes the site state for a given capacity and load.
-// Capacity must be positive.
-func Evaluate(capacityQPS float64, load Load, cfg Config) State {
+// Capacity must be positive; otherwise a zero State and an error
+// wrapping ErrBadCapacity are returned.
+func Evaluate(capacityQPS float64, load Load, cfg Config) (State, error) {
 	if capacityQPS <= 0 {
-		panic(fmt.Sprintf("netsim: capacity %v", capacityQPS))
+		return State{}, fmt.Errorf("%w: %v", ErrBadCapacity, capacityQPS)
 	}
 	offered := load.Offered()
 	st := State{OfferedQPS: offered, Utilization: offered / capacityQPS}
@@ -74,12 +82,12 @@ func Evaluate(capacityQPS float64, load Load, cfg Config) State {
 			frac := (st.Utilization - cfg.OnsetUtilization) / (1 - cfg.OnsetUtilization)
 			st.ExtraDelayMs = clamp(frac*cfg.DelaySlopeMs*0.25, 0, cfg.MaxBufferDelayMs)
 		}
-		return st
+		return st, nil
 	}
 	st.ServedQPS = capacityQPS
 	st.LossFrac = 1 - capacityQPS/offered
 	st.ExtraDelayMs = clamp(cfg.DelaySlopeMs*0.25+(st.Utilization-1)*cfg.DelaySlopeMs, 0, cfg.MaxBufferDelayMs)
-	return st
+	return st, nil
 }
 
 func clamp(v, lo, hi float64) float64 {

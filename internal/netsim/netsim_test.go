@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -8,8 +9,17 @@ import (
 	"github.com/rootevent/anycastddos/internal/anycast"
 )
 
+func mustEval(t *testing.T, capacityQPS float64, load Load, cfg Config) State {
+	t.Helper()
+	st, err := Evaluate(capacityQPS, load, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func TestEvaluateUnderCapacity(t *testing.T) {
-	st := Evaluate(100_000, Load{LegitQPS: 40_000, AttackQPS: 0}, DefaultConfig())
+	st := mustEval(t, 100_000, Load{LegitQPS: 40_000, AttackQPS: 0}, DefaultConfig())
 	if st.LossFrac != 0 || st.ServedQPS != 40_000 || st.ExtraDelayMs != 0 {
 		t.Errorf("state = %+v", st)
 	}
@@ -20,14 +30,14 @@ func TestEvaluateUnderCapacity(t *testing.T) {
 
 func TestEvaluateNearSaturationBuildsQueue(t *testing.T) {
 	cfg := DefaultConfig()
-	st := Evaluate(100_000, Load{LegitQPS: 98_000}, cfg)
+	st := mustEval(t, 100_000, Load{LegitQPS: 98_000}, cfg)
 	if st.LossFrac != 0 {
 		t.Errorf("loss = %v, want 0 below capacity", st.LossFrac)
 	}
 	if st.ExtraDelayMs <= 0 {
 		t.Error("no queueing delay at 98% utilization")
 	}
-	lower := Evaluate(100_000, Load{LegitQPS: 50_000}, cfg)
+	lower := mustEval(t, 100_000, Load{LegitQPS: 50_000}, cfg)
 	if lower.ExtraDelayMs != 0 {
 		t.Error("delay at 50% utilization")
 	}
@@ -36,7 +46,7 @@ func TestEvaluateNearSaturationBuildsQueue(t *testing.T) {
 func TestEvaluateOverload(t *testing.T) {
 	cfg := DefaultConfig()
 	// K-AMS-like: 1.2 Mq/s capacity, ~2.8 Mq/s offered.
-	st := Evaluate(1_200_000, Load{LegitQPS: 15_000, AttackQPS: 2_785_000}, cfg)
+	st := mustEval(t, 1_200_000, Load{LegitQPS: 15_000, AttackQPS: 2_785_000}, cfg)
 	if st.ServedQPS != 1_200_000 {
 		t.Errorf("served = %v", st.ServedQPS)
 	}
@@ -52,7 +62,7 @@ func TestEvaluateOverload(t *testing.T) {
 
 func TestEvaluateExtremOverloadCapsDelay(t *testing.T) {
 	cfg := DefaultConfig()
-	st := Evaluate(30_000, Load{AttackQPS: 5_000_000}, cfg)
+	st := mustEval(t, 30_000, Load{AttackQPS: 5_000_000}, cfg)
 	if st.ExtraDelayMs != cfg.MaxBufferDelayMs {
 		t.Errorf("delay = %v, want cap %v", st.ExtraDelayMs, cfg.MaxBufferDelayMs)
 	}
@@ -61,13 +71,12 @@ func TestEvaluateExtremOverloadCapsDelay(t *testing.T) {
 	}
 }
 
-func TestEvaluatePanicsOnBadCapacity(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for zero capacity")
+func TestEvaluateErrorsOnBadCapacity(t *testing.T) {
+	for _, capacity := range []float64{0, -1} {
+		if _, err := Evaluate(capacity, Load{}, DefaultConfig()); !errors.Is(err, ErrBadCapacity) {
+			t.Errorf("capacity %v: want ErrBadCapacity, got %v", capacity, err)
 		}
-	}()
-	Evaluate(0, Load{}, DefaultConfig())
+	}
 }
 
 // Property: conservation — served + dropped = offered, and loss within [0,1).
@@ -76,7 +85,10 @@ func TestEvaluateConservation(t *testing.T) {
 	f := func(capRaw, legitRaw, attackRaw uint32) bool {
 		capacity := float64(capRaw%10_000_000) + 1
 		load := Load{LegitQPS: float64(legitRaw % 10_000_000), AttackQPS: float64(attackRaw % 100_000_000)}
-		st := Evaluate(capacity, load, cfg)
+		st, err := Evaluate(capacity, load, cfg)
+		if err != nil {
+			return false
+		}
 		dropped := st.OfferedQPS * st.LossFrac
 		if st.LossFrac < 0 || st.LossFrac >= 1 {
 			return false
@@ -99,8 +111,11 @@ func TestEvaluateMonotone(t *testing.T) {
 		if x > y {
 			x, y = y, x
 		}
-		s1 := Evaluate(100_000, Load{AttackQPS: x}, cfg)
-		s2 := Evaluate(100_000, Load{AttackQPS: y}, cfg)
+		s1, err1 := Evaluate(100_000, Load{AttackQPS: x}, cfg)
+		s2, err2 := Evaluate(100_000, Load{AttackQPS: y}, cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
 		return s1.LossFrac <= s2.LossFrac+1e-12 && s1.ExtraDelayMs <= s2.ExtraDelayMs+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

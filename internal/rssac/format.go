@@ -49,6 +49,10 @@ func WriteReport(w io.Writer, r *Report) error {
 	fmt.Fprintf(bw, "version: %s\n", FormatVersion)
 	fmt.Fprintf(bw, "service: %s\n", serviceName(r.Letter))
 	fmt.Fprintf(bw, "start-period: %sT00:00:00Z\n", r.DayString())
+	// Only gapped days carry the key, so fault-free output is unchanged.
+	if r.MissingMinutes > 0 {
+		fmt.Fprintf(bw, "missing-intervals: %d\n", r.MissingMinutes)
+	}
 	fmt.Fprintf(bw, "metric: traffic-volume\n")
 	fmt.Fprintf(bw, "dns-udp-queries-received-ipv4: %.0f\n", r.Queries)
 	fmt.Fprintf(bw, "dns-udp-responses-sent-ipv4: %.0f\n", r.Responses)
@@ -153,6 +157,12 @@ func ParseReport(r io.Reader) (*Report, error) {
 			rep.Day = day
 		case "metric":
 			curSizes = nil
+		case "missing-intervals":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 || n > MinutesPerDay {
+				return nil, fmt.Errorf("%w: missing-intervals %q", ErrBadReportFile, val)
+			}
+			rep.MissingMinutes = n
 		case "dns-udp-queries-received-ipv4":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil || f < 0 {

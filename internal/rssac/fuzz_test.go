@@ -15,6 +15,18 @@ func FuzzParseReport(f *testing.F) {
 	f.Add(sb.String())
 	f.Add("version: rssac002v3\nservice: a.root-servers.net\n")
 	f.Add("garbage")
+	// MonitorGap-shaped reports: days with missing measurement intervals.
+	gapped := SyntheticBaseline('K', 40_000, 0)
+	gapped.MissingMinutes = 137
+	var gb strings.Builder
+	if err := WriteReport(&gb, gapped); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gb.String())
+	f.Add("version: rssac002v3\nservice: k.root-servers.net\nstart-period: 2015-11-30T00:00:00Z\nmissing-intervals: 1440\n")
+	f.Add("version: rssac002v3\nservice: k.root-servers.net\nmissing-intervals: 0\n")
+	f.Add("version: rssac002v3\nservice: k.root-servers.net\nmissing-intervals: -5\n")
+	f.Add("version: rssac002v3\nservice: k.root-servers.net\nmissing-intervals: 99999\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		rep, err := ParseReport(strings.NewReader(text))
 		if err != nil {
@@ -22,6 +34,12 @@ func FuzzParseReport(f *testing.F) {
 		}
 		if rep.Letter < 'A' || rep.Letter > 'M' || rep.Queries < 0 || rep.Day < 0 {
 			t.Fatalf("invalid report accepted: %+v", rep)
+		}
+		if rep.MissingMinutes < 0 || rep.MissingMinutes > MinutesPerDay {
+			t.Fatalf("invalid missing-intervals accepted: %+v", rep)
+		}
+		if f := rep.CoverageFrac(); f < 0 || f > 1 {
+			t.Fatalf("coverage %v outside [0,1]: %+v", f, rep)
 		}
 	})
 }

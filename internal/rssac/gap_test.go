@@ -1,0 +1,78 @@
+package rssac
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/attack"
+)
+
+func TestRecordGapCountsMissingMinutes(t *testing.T) {
+	a := NewAccumulator(2, attack.DefaultSourceMix)
+	for m := 0; m < 2*MinutesPerDay; m++ {
+		if m >= 100 && m < 130 {
+			a.RecordGap('K', m)
+			continue
+		}
+		a.Record('K', Minute{Minute: m, LegitServedQPS: 40_000, ResponseQPS: 40_000})
+	}
+	a.RecordGap('K', -1)              // ignored
+	a.RecordGap('K', 5*MinutesPerDay) // past horizon, ignored
+	rs := a.Finalize('K')
+	if rs[0].MissingMinutes != 30 || rs[1].MissingMinutes != 0 {
+		t.Fatalf("missing minutes = %d, %d; want 30, 0", rs[0].MissingMinutes, rs[1].MissingMinutes)
+	}
+	// The gapped day measured fewer queries, but the coverage-corrected
+	// estimate should recover the true daily volume.
+	wantRaw := 40_000.0 * 60 * (MinutesPerDay - 30)
+	if math.Abs(rs[0].Queries-wantRaw) > 1 {
+		t.Errorf("day 0 queries = %v, want %v", rs[0].Queries, wantRaw)
+	}
+	wantFull := 40_000.0 * 60 * MinutesPerDay
+	if est := rs[0].EstimatedQueries(); math.Abs(est-wantFull) > 1e-6*wantFull {
+		t.Errorf("estimated queries = %v, want %v", est, wantFull)
+	}
+	if math.Abs(rs[1].EstimatedQueries()-rs[1].Queries) > 1e-9 {
+		t.Error("gap-free day should estimate exactly its raw count")
+	}
+	if cov := rs[0].CoverageFrac(); math.Abs(cov-float64(MinutesPerDay-30)/MinutesPerDay) > 1e-12 {
+		t.Errorf("coverage = %v", cov)
+	}
+}
+
+func TestFullyMissingDayEstimatesZero(t *testing.T) {
+	r := &Report{Letter: 'K', MissingMinutes: MinutesPerDay}
+	if r.EstimatedQueries() != 0 || r.CoverageFrac() != 0 {
+		t.Errorf("fully gapped day: est %v cov %v", r.EstimatedQueries(), r.CoverageFrac())
+	}
+}
+
+func TestMissingIntervalsRoundTrip(t *testing.T) {
+	r := SyntheticBaseline('K', 40_000, 0)
+	r.MissingMinutes = 77
+	var sb strings.Builder
+	if err := WriteReport(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "missing-intervals: 77") {
+		t.Fatalf("output lacks missing-intervals key:\n%s", sb.String())
+	}
+	got, err := ParseReport(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MissingMinutes != 77 {
+		t.Errorf("round-trip missing minutes = %d, want 77", got.MissingMinutes)
+	}
+
+	// Gap-free reports must serialize exactly as before the key existed.
+	clean := SyntheticBaseline('K', 40_000, 0)
+	var cb strings.Builder
+	if err := WriteReport(&cb, clean); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cb.String(), "missing-intervals") {
+		t.Error("gap-free report should not emit missing-intervals")
+	}
+}

@@ -24,6 +24,9 @@ const SizeBins = 64
 // SizeBinWidth is the RSSAC-002 size bin width in bytes.
 const SizeBinWidth = 16
 
+// MinutesPerDay is the number of reporting intervals in one daily report.
+const MinutesPerDay = 24 * 60
+
 // DayName formats a simulation day index as a date (day 0 = 2015-11-30).
 func DayName(day int) string {
 	switch day {
@@ -45,10 +48,45 @@ type Report struct {
 	UniqueSources float64 // distinct source addresses seen
 	QuerySizes    *stats.Histogram
 	ResponseSizes *stats.Histogram
+	// MissingMinutes counts the day's minutes with no measurement at all
+	// (monitoring outages — the paper's §2.4 data holes). Queries and
+	// Responses cover only the observed minutes; consumers comparing
+	// volumes must use EstimatedQueries/EstimatedResponses or they will
+	// mis-sum gapped days as low-traffic days.
+	MissingMinutes int
 }
 
 // DayString returns the report's date.
 func (r *Report) DayString() string { return DayName(r.Day) }
+
+// CoverageFrac is the fraction of the day's minutes with measurements.
+func (r *Report) CoverageFrac() float64 {
+	observed := MinutesPerDay - r.MissingMinutes
+	if observed < 0 {
+		observed = 0
+	}
+	return float64(observed) / MinutesPerDay
+}
+
+// EstimatedQueries scales the measured query count up to a full day,
+// assuming the unobserved minutes carried the mean observed rate. Equal
+// to Queries when the day has no gaps; zero when it is entirely missing.
+func (r *Report) EstimatedQueries() float64 {
+	return scaleForCoverage(r.Queries, r.MissingMinutes)
+}
+
+// EstimatedResponses is EstimatedQueries for the response count.
+func (r *Report) EstimatedResponses() float64 {
+	return scaleForCoverage(r.Responses, r.MissingMinutes)
+}
+
+func scaleForCoverage(v float64, missing int) float64 {
+	observed := MinutesPerDay - missing
+	if missing <= 0 || observed <= 0 {
+		return v
+	}
+	return v * MinutesPerDay / float64(observed)
+}
 
 // newSizeHistogram allocates an RSSAC-002 size histogram.
 func newSizeHistogram() *stats.Histogram {
@@ -135,12 +173,26 @@ type Minute struct {
 	AttackResponseBytes int
 }
 
+// RecordGap marks one minute of the day as unmeasured for a letter (the
+// monitoring pipeline was down). Gapped minutes contribute nothing to
+// the counts; they only raise MissingMinutes so consumers can correct.
+func (a *Accumulator) RecordGap(letter byte, minute int) {
+	if minute < 0 {
+		return
+	}
+	day := minute / MinutesPerDay
+	if day >= a.days {
+		return
+	}
+	a.letterReports(letter)[day].MissingMinutes++
+}
+
 // Record folds one minute of traffic into the letter's daily report.
 func (a *Accumulator) Record(letter byte, m Minute) {
 	if m.Minute < 0 {
 		return
 	}
-	day := m.Minute / (24 * 60)
+	day := m.Minute / MinutesPerDay
 	if day >= a.days {
 		return
 	}

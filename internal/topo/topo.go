@@ -211,7 +211,12 @@ func Generate(cfg Config) (*Graph, error) {
 		a.Tier = Tier2
 		pin := i - t2Start
 		if pin < 3*len(hubs) {
-			a.City = geo.MustLookup(hubs[pin%len(hubs)])
+			// Hub codes come from cfg.IXWeights, i.e. caller input.
+			city, err := geo.LookupErr(hubs[pin%len(hubs)])
+			if err != nil {
+				return nil, fmt.Errorf("topo: IX hub: %w", err)
+			}
+			a.City = city
 		} else {
 			a.City = pickCity(pickRegion())
 		}
