@@ -1,13 +1,12 @@
 # Reproduction harness entry points. `make verify` is the gate every change
-# must pass: format + vet + build + full tests, then the race detector over
-# the concurrent packages (the parallel engine, measurement sharding, and
-# the live-socket server).
+# must pass: format + vet + build + repolint + full tests, then the race
+# detector over every package.
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race soak bench bench-workers reproduce
+.PHONY: verify fmt vet build lint test race soak bench bench-workers reproduce
 
-verify: fmt vet build test race
+verify: fmt vet build lint test race
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -19,11 +18,18 @@ vet:
 build:
 	$(GO) build ./...
 
+# Repository-specific static analysis: determinism, error-hygiene,
+# panic-policy, and API-hygiene invariants (see README "Determinism
+# invariants and repolint"). Zero external deps; rules live in
+# internal/lintcheck.
+lint:
+	$(GO) run ./cmd/repolint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/atlas/ ./internal/dnsserver/
+	$(GO) test -race ./...
 
 # Fault-injection soak: 8 random heavy fault plans through the full engine
 # under the race detector; the first two seeds also replay sequentially to

@@ -9,14 +9,13 @@
 //
 // Usage:
 //
-//	floodbench [-duration 2s] [-sources 50] [-workers N] [-rrl]
+//	floodbench [-duration 2s] [-sources 50] [-workers N] [-rrl] [-seed 1]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"net"
 	"os"
 	"sync/atomic"
@@ -35,6 +34,7 @@ func main() {
 	sources := flag.Int("sources", 50, "distinct spoofed-source sockets (heavy hitters)")
 	workers := flag.Int("workers", 0, "total sender goroutines spread over the source sockets (0 = one per socket)")
 	useRRL := flag.Bool("rrl", true, "enable response-rate limiting on the server")
+	seed := flag.Int64("seed", 1, "prober RNG seed, so bench runs are reproducible")
 	flag.Parse()
 
 	cfg := dnsserver.Config{Letter: 'K', Site: "LHR", Server: 1}
@@ -96,7 +96,7 @@ func main() {
 	}
 
 	// A legitimate client probing once per 50 ms throughout the flood.
-	prober := dnsserver.NewProber(rand.Int63())
+	prober := dnsserver.NewProber(*seed)
 	prober.Timeout = 200 * time.Millisecond
 	prober.FallbackTCP = true
 	var clientOK, clientTCP, clientFail int

@@ -1,0 +1,75 @@
+// Command repolint runs the repository's static-analysis suite
+// (internal/lintcheck) over one or more package patterns and reports any
+// violation of the determinism, error-hygiene, panic-policy, or API-hygiene
+// invariants.
+//
+// Usage:
+//
+//	go run ./cmd/repolint [-json] [patterns...]
+//
+// Patterns default to ./... and are resolved against the enclosing module
+// root, so the tool behaves the same from any subdirectory. Exit status is 0
+// when the tree is clean, 1 when diagnostics were reported, and 2 on load or
+// usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rootevent/anycastddos/internal/lintcheck"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of file:line:col text")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [-json] [patterns...]\n\nRules:\n")
+		for _, a := range lintcheck.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lintcheck.ModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lintcheck.Load(root, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lintcheck.Run(pkgs, lintcheck.DefaultConfig())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lintcheck.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "repolint: %d violation(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repolint:", err)
+	os.Exit(2)
+}

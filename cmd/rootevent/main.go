@@ -470,7 +470,7 @@ func parseFaultsSpec(spec string) (*faults.Plan, error) {
 	}
 	seed, err := strconv.ParseInt(parts[1], 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("bad -faults seed %q: %v", parts[1], err)
+		return nil, fmt.Errorf("bad -faults seed %q: %w", parts[1], err)
 	}
 	pr := faults.LightProfile()
 	if len(parts) == 3 {

@@ -30,4 +30,14 @@
 // cancel with core.WithContext plus RunContext/MeasureContext, and observe
 // progress with core.WithProgress. BenchmarkParallelSmallWorkers and
 // BenchmarkNov30EventWorkers chart the scaling.
+//
+// # Determinism invariants
+//
+// Reproducibility is enforced mechanically, not by convention: cmd/repolint
+// (rule engine in internal/lintcheck, stdlib-only) fails the build on
+// wall-clock reads in the simulation plane, global or unseeded math/rand
+// use, map-iteration order escaping into results, fmt.Errorf that drops an
+// error without %w, panics in internal/ packages, and context or mutex
+// misuse. It runs inside `make verify` and again as TestRepolintSelfClean
+// in the ordinary test suite.
 package anycastddos

@@ -267,10 +267,13 @@ func Format(letter byte, site string, server int) (string, error) {
 	return p.format(site, server), nil
 }
 
-// MustFormat is Format for known-good inputs; it panics on error.
+// MustFormat is Format for compile-time-constant inputs (tests and built-in
+// tables); it panics on error. Identities derived from configuration must go
+// through Format so malformed site codes surface as errors.
 func MustFormat(letter byte, site string, server int) string {
 	s, err := Format(letter, site, server)
 	if err != nil {
+		//repolint:allow panic -- Must* contract: inputs are compile-time constants
 		panic(err)
 	}
 	return s

@@ -309,7 +309,9 @@ func NewEvaluator(cfg Config, opts ...Option) (*Evaluator, error) {
 		finalized:  make(map[byte][]*rssac.Report),
 		NLSites:    []string{"AMS", "LHR"},
 	}
-	ev.buildCaches()
+	if err := ev.buildCaches(); err != nil {
+		return nil, err
+	}
 	ev.buildLetterStates()
 	if o.faults != nil {
 		shape := faults.Shape{Minutes: cfg.Minutes, Sites: make(map[byte]int, len(dep.Letters))}
@@ -336,7 +338,7 @@ func (ev *Evaluator) FaultPlan() *faults.Plan {
 	return ev.flt.Plan()
 }
 
-func (ev *Evaluator) buildCaches() {
+func (ev *Evaluator) buildCaches() error {
 	cities := geo.Cities()
 	ev.cityIdx = make(map[string]int, len(cities))
 	for i, c := range cities {
@@ -355,7 +357,13 @@ func (ev *Evaluator) buildCaches() {
 		for si, s := range l.Sites {
 			perSite[si] = make([]string, s.NumServers+1)
 			for srv := 1; srv <= s.NumServers; srv++ {
-				perSite[si][srv] = chaos.MustFormat(l.Letter, s.Code, srv)
+				// Site codes arrive from deployment config, so a malformed
+				// one must surface as an error, not a panic.
+				txt, err := chaos.Format(l.Letter, s.Code, srv)
+				if err != nil {
+					return fmt.Errorf("core: chaos identity for site %c-%s: %w", l.Letter, s.Code, err)
+				}
+				perSite[si][srv] = txt
 			}
 		}
 		ev.txt[l.Letter] = perSite
@@ -372,6 +380,7 @@ func (ev *Evaluator) buildCaches() {
 		return ev.clientWeights[i].asn < ev.clientWeights[j].asn
 	})
 	ev.stubs = ev.Graph.StubASNs()
+	return nil
 }
 
 func (ev *Evaluator) buildLetterStates() {

@@ -168,6 +168,7 @@ var cityIndex = func() map[string]int {
 	m := make(map[string]int, len(cities))
 	for i, c := range cities {
 		if _, dup := m[c.Code]; dup {
+			//repolint:allow panic -- init-time check of the compile-time city table
 			panic("geo: duplicate city code " + c.Code)
 		}
 		m[c.Code] = i
@@ -201,6 +202,7 @@ func LookupErr(code string) (City, error) {
 func MustLookup(code string) City {
 	c, ok := Lookup(code)
 	if !ok {
+		//repolint:allow panic -- Must* contract: codes are compile-time constants
 		panic("geo: unknown city code " + code)
 	}
 	return c

@@ -33,10 +33,11 @@ func New(p uint8) (*Sketch, error) {
 }
 
 // MustNew is New but panics on invalid precision; for compile-time-constant
-// precisions.
+// precisions. Precisions from configuration must go through New.
 func MustNew(p uint8) *Sketch {
 	s, err := New(p)
 	if err != nil {
+		//repolint:allow panic -- Must* contract: precision is a compile-time constant
 		panic(err)
 	}
 	return s

@@ -1,0 +1,133 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// APIHygieneAnalyzer enforces Go API conventions the rest of the repo relies
+// on: context.Context travels as the first parameter, and lock-bearing types
+// are never passed or returned by value.
+func APIHygieneAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "apihygiene",
+		Doc:  "context.Context first; no sync primitives copied by value",
+		Run:  runAPIHygiene,
+	}
+}
+
+func runAPIHygiene(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncType(pass, n.Type)
+				if n.Recv != nil {
+					checkLockFields(pass, n.Recv)
+				}
+			case *ast.FuncLit:
+				checkFuncType(pass, n.Type)
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						checkFuncType(pass, ft)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncType(pass *Pass, ft *ast.FuncType) {
+	if ft.Params != nil {
+		pos := 0
+		for _, field := range ft.Params.List {
+			width := len(field.Names)
+			if width == 0 {
+				width = 1 // unnamed parameter
+			}
+			if isContextType(pass, field.Type) && pos > 0 {
+				pass.Reportf("ctxfirst", field.Pos(),
+					"context.Context must be the first parameter")
+			}
+			pos += width
+		}
+		checkLockFields(pass, ft.Params)
+	}
+	if ft.Results != nil {
+		checkLockFields(pass, ft.Results)
+	}
+}
+
+// checkLockFields reports parameters, results, or receivers whose value type
+// carries a lock.
+func checkLockFields(pass *Pass, fields *ast.FieldList) {
+	for _, field := range fields.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if name := lockCarrier(tv.Type, nil); name != "" {
+			shown := types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types))
+			if shown == name {
+				pass.Reportf("mutexcopy", field.Pos(),
+					"%s is passed by value; use a pointer", name)
+			} else {
+				pass.Reportf("mutexcopy", field.Pos(),
+					"%s is passed by value and carries %s; use a pointer", shown, name)
+			}
+		}
+	}
+}
+
+func isContextType(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// syncLockTypes are the sync primitives that must not be copied once used.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// lockCarrier returns the name of the sync primitive t carries by value
+// (directly, via struct fields, or via arrays), or "" if none. Pointers,
+// slices, maps, and channels break the chain: copying them does not copy the
+// lock.
+func lockCarrier(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return lockCarrier(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockCarrier(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockCarrier(u.Elem(), seen)
+	}
+	return ""
+}

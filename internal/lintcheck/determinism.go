@@ -1,0 +1,178 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the simulation plane's reproducibility
+// invariants: no wall clock, no global RNG, visibly seeded RNG construction,
+// and no map-iteration order escaping into returned slices.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid time.Now, global math/rand, unseeded rand.New, and unsorted map-range results",
+		Run:  runDeterminism,
+	}
+}
+
+// globalRandExceptions are math/rand package-level functions that do not
+// touch the global source.
+var globalRandExceptions = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // draws from the *rand.Rand it is given
+}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		rel := pass.RelFile(file.Pos())
+		clockExempt := exempt(rel, pass.Cfg.WallClockAllow)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil {
+					return true
+				}
+				if !clockExempt && isPkgFunc(fn, "time", "Now") {
+					pass.Reportf("wallclock", n.Pos(),
+						"time.Now is forbidden in the simulation plane; model time as minute bins or thread it through the caller")
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "math/rand" && !globalRandExceptions[fn.Name()] {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+						pass.Reportf("globalrand", n.Pos(),
+							"rand.%s draws from the shared global source; use an explicitly seeded *rand.Rand", fn.Name())
+					}
+				}
+				if !clockExempt && isPkgFunc(fn, "math/rand", "New") {
+					if !isDirectNewSource(info, n) {
+						pass.Reportf("unseededrand", n.Pos(),
+							"rand.New's source must be a direct rand.NewSource(seed) call so the seed is visible here")
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRangeOrder(pass, n)
+				}
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// isDirectNewSource reports whether call's first argument is itself a call to
+// rand.NewSource.
+func isDirectNewSource(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isPkgFunc(calleeFunc(info, inner), "math/rand", "NewSource")
+}
+
+// checkMapRangeOrder flags functions that range over a map, append into a
+// local slice inside the loop, return that slice, and never sort it. The
+// slice then carries map-iteration order — freshly randomized on every run —
+// straight into results.
+func checkMapRangeOrder(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Objects appended to inside a map-range body, with the offending range
+	// statement for the report position.
+	type capture struct{ rng *ast.RangeStmt }
+	appended := make(map[types.Object]capture)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(b ast.Node) bool {
+			asg, ok := b.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				return true
+			}
+			call, ok := asg.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+				return true
+			} else if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := identObj(info, lhs)
+			if obj == nil {
+				return true
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+				return true
+			}
+			if _, seen := appended[obj]; !seen {
+				appended[obj] = capture{rng: rng}
+			}
+			return true
+		})
+		return true
+	})
+	if len(appended) == 0 {
+		return
+	}
+
+	// A sort.* call mentioning the object anywhere in the function clears it.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sort" {
+			return true
+		}
+		for obj := range appended {
+			for _, arg := range call.Args {
+				if mentionsObj(info, arg, obj) {
+					delete(appended, obj)
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	// Report only slices that escape through a return statement.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for obj, cap := range appended {
+			for _, res := range ret.Results {
+				if mentionsObj(info, res, obj) {
+					pass.Reportf("maprange", cap.rng.Pos(),
+						"%s accumulates map-iteration order and is returned without a sort.* call", obj.Name())
+					delete(appended, obj)
+					break
+				}
+			}
+		}
+		return true
+	})
+}

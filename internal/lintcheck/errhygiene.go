@@ -1,0 +1,89 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// ErrHygieneAnalyzer enforces error-wrapping conventions: fmt.Errorf must
+// wrap error arguments with %w, and package-level sentinel errors must be
+// errors.New values.
+func ErrHygieneAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errhygiene",
+		Doc:  "require %w when fmt.Errorf wraps an error; sentinels must be errors.New",
+		Run:  runErrHygiene,
+	}
+}
+
+func runErrHygiene(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Sentinel rule: package-level var initialized from fmt.Errorf.
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					call, ok := ast.Unparen(val).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if isPkgFunc(calleeFunc(info, call), "fmt", "Errorf") {
+						pass.Reportf("sentinel", call.Pos(),
+							"package-level sentinel errors must use errors.New; fmt.Errorf hides the identity behind formatting")
+					}
+				}
+			}
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgFunc(calleeFunc(info, call), "fmt", "Errorf") {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constantString(pass, call.Args[0])
+			if !ok {
+				return true // dynamic format string: nothing to check against
+			}
+			wraps := strings.Contains(format, "%w")
+			if wraps {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				tv, ok := info.Types[arg]
+				if !ok {
+					continue
+				}
+				if isErrorType(tv.Type) {
+					pass.Reportf("errwrap", call.Pos(),
+						"fmt.Errorf formats an error argument without %%w; errors.Is/As cannot see through it")
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constantString evaluates expr to a compile-time string if possible.
+func constantString(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,242 @@
+// Package lintcheck is a stdlib-only static-analysis suite that mechanically
+// enforces the repository's determinism, error-hygiene, panic-policy, and API
+// invariants. The reproduction's headline guarantee — byte-identical
+// Run/Measure output for any worker count, under any fault plan — rests on
+// hand-maintained conventions (every RNG seeded, no wall clock in the
+// simulation plane, no map-iteration order escaping into results). This
+// package turns those conventions into build failures.
+//
+// The suite is built purely against the standard library (go/parser, go/ast,
+// go/types); packages and their type information are loaded through
+// `go list -export` (see load.go), so go.mod keeps zero dependencies.
+//
+// Rules (each diagnostic carries the rule name; suppress a single site with a
+// `//repolint:allow <rule>` comment on the same line or the line above):
+//
+//   - wallclock:    time.Now is forbidden outside the live-socket and harness
+//     allowlist. The simulation plane models time as minute bins; a wall-clock
+//     read there silently destroys replayability.
+//   - globalrand:   package-level math/rand functions (rand.Int63, rand.Seed,
+//     …) draw from the shared, racily-seeded global source. Every RNG must be
+//     an explicitly seeded *rand.Rand.
+//   - unseededrand: rand.New's source must be a direct rand.NewSource(seed)
+//     call, so the seed is visible at the construction site.
+//   - maprange:     ranging over a map and appending to a slice that is then
+//     returned without an intervening sort.* call leaks map-iteration order
+//     into results.
+//   - errwrap:      fmt.Errorf with an error-typed argument must use %w so
+//     errors.Is/errors.As see through the wrap.
+//   - sentinel:     package-level sentinel error variables must be built with
+//     errors.New, not fmt.Errorf.
+//   - panic:        no panic() in internal/ outside the shape-invariant
+//     assertions allowlisted in internal/stats.
+//   - ctxfirst:     context.Context must be the first parameter.
+//   - mutexcopy:    no sync.Mutex (or type containing one) passed or returned
+//     by value.
+package lintcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by module-relative file path.
+type Diagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the conventional file:line:col: rule: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Config scopes the rules. Paths are slash-separated prefixes relative to the
+// module root; a file under any listed prefix is exempt from that rule set.
+type Config struct {
+	// WallClockAllow exempts packages from the wallclock and unseededrand
+	// rules: live-socket code genuinely needs deadlines, and cmd/ harnesses
+	// may time their own runs.
+	WallClockAllow []string
+	// PanicAllow exempts packages from the panic rule. The rule itself only
+	// looks inside internal/.
+	PanicAllow []string
+}
+
+// DefaultConfig is the repository policy: wall clock is allowed in the
+// live-socket dnsserver package, command-line harnesses, and examples;
+// panics are allowed only for internal/stats shape assertions.
+func DefaultConfig() Config {
+	return Config{
+		WallClockAllow: []string{"internal/dnsserver", "cmd/", "examples/"},
+		PanicAllow:     []string{"internal/stats"},
+	}
+}
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer and collects reports.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *LoadedPackage
+	Cfg      Config
+
+	diags []Diagnostic
+}
+
+// RelFile returns the module-relative slash path of the file containing pos.
+func (p *Pass) RelFile(pos token.Pos) string {
+	return p.Pkg.relFile(pos)
+}
+
+// Reportf records a diagnostic for rule at pos unless an allow comment
+// suppresses it.
+func (p *Pass) Reportf(rule string, pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	rel := p.Pkg.relFile(pos)
+	if p.Pkg.allowed(rel, position.Line, rule) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Rule:    rule,
+		File:    rel,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// exempt reports whether rel (a module-relative slash path) falls under any
+// of the given path prefixes.
+func exempt(rel string, prefixes []string) bool {
+	for _, pre := range prefixes {
+		if strings.HasPrefix(rel, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full repository rule suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		ErrHygieneAnalyzer(),
+		PanicPolicyAnalyzer(),
+		APIHygieneAnalyzer(),
+	}
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by file, line, column, then rule.
+func Run(pkgs []*LoadedPackage, cfg Config) []Diagnostic {
+	return RunAnalyzers(pkgs, Analyzers(), cfg)
+}
+
+// RunAnalyzers applies a specific analyzer set.
+func RunAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Cfg: cfg}
+			a.Run(pass)
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// --- shared type-query helpers used by the analyzers ---
+
+// calleeFunc resolves a call expression to the package-level function or
+// method it invokes, or nil when the callee is not a named function.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errIface)
+}
+
+// identObj resolves an identifier to its object, whether this occurrence
+// defines or uses it.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// mentionsObj reports whether any identifier under n resolves to obj.
+func mentionsObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && identObj(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// cleanRelPath normalises a module-relative path for prefix matching.
+func cleanRelPath(rel string) string {
+	return path.Clean(strings.ReplaceAll(rel, "\\", "/"))
+}

@@ -1,0 +1,201 @@
+package lintcheck
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one testdata package relative to the module root.
+func loadFixture(t *testing.T, pattern string) []*LoadedPackage {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkgs, err := Load(root, pattern)
+	if err != nil {
+		t.Fatalf("Load(%q): %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("Load(%q): no packages", pattern)
+	}
+	return pkgs
+}
+
+// key is the (rule, file, line) identity of a diagnostic.
+type key struct {
+	rule string
+	file string
+	line int
+}
+
+func diagKeys(diags []Diagnostic) []key {
+	keys := make([]key, len(diags))
+	for i, d := range diags {
+		keys[i] = key{d.Rule, d.File, d.Line}
+	}
+	return keys
+}
+
+// TestFixtureDiagnostics asserts, per fixture package, the exact rule, file,
+// and line of every diagnostic the suite emits — in output order.
+func TestFixtureDiagnostics(t *testing.T) {
+	const base = "internal/lintcheck/testdata/"
+	tests := []struct {
+		name    string
+		pattern string
+		want    []key
+	}{
+		{
+			name:    "determinism",
+			pattern: "./" + base + "determinism",
+			want: []key{
+				{"wallclock", base + "determinism/bad.go", 15},
+				{"globalrand", base + "determinism/bad.go", 20},
+				{"unseededrand", base + "determinism/bad.go", 25},
+				{"maprange", base + "determinism/bad.go", 31},
+			},
+		},
+		{
+			name:    "errhygiene",
+			pattern: "./" + base + "errhygiene",
+			want: []key{
+				{"sentinel", base + "errhygiene/bad.go", 13},
+				{"errwrap", base + "errhygiene/bad.go", 20},
+			},
+		},
+		{
+			name:    "panics",
+			pattern: "./" + base + "panics",
+			want: []key{
+				{"panic", base + "panics/bad.go", 14},
+			},
+		},
+		{
+			name:    "apihygiene",
+			pattern: "./" + base + "apihygiene",
+			want: []key{
+				{"ctxfirst", base + "apihygiene/bad.go", 12},
+				{"mutexcopy", base + "apihygiene/bad.go", 24},
+				{"mutexcopy", base + "apihygiene/bad.go", 36},
+			},
+		},
+		{
+			name:    "allow comments suppress",
+			pattern: "./" + base + "allowed",
+			want:    nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			diags := Run(loadFixture(t, tt.pattern), DefaultConfig())
+			got := diagKeys(diags)
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(tt.want), diags)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("diagnostic %d: got %+v, want %+v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRepolintSelfClean runs the full suite over the whole repository. Every
+// future PR inherits this test, so a change that reintroduces a wall-clock
+// read, an unseeded RNG, or a stray panic fails the build here.
+func TestRepolintSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("Load ./... returned only %d packages; loader is dropping targets", len(pkgs))
+	}
+	diags := Run(pkgs, DefaultConfig())
+	for _, d := range diags {
+		t.Errorf("repolint violation: %s", d)
+	}
+}
+
+// TestDiagnosticString pins the conventional file:line:col rendering that
+// editors and CI logs parse.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "wallclock", File: "internal/x/y.go", Line: 7, Col: 3, Message: "no"}
+	if got, want := d.String(), "internal/x/y.go:7:3: wallclock: no"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestDiagnosticJSON pins the -json field names.
+func TestDiagnosticJSON(t *testing.T) {
+	b, err := json.Marshal(Diagnostic{Rule: "panic", File: "a.go", Line: 1, Col: 2, Message: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"rule":"panic"`, `"file":"a.go"`, `"line":1`, `"col":2`, `"message":"m"`} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("JSON %s missing %s", b, field)
+		}
+	}
+}
+
+// TestAllowParsing covers the comment-parsing corners: multiple rules on one
+// marker, comma separation, the "all" wildcard, justification text after --,
+// and markers that must NOT match.
+func TestAllowParsing(t *testing.T) {
+	p := &LoadedPackage{}
+	p.allow = map[string]map[int]map[string]bool{
+		"f.go": {
+			10: {"wallclock": true, "panic": true},
+			20: {"all": true},
+		},
+	}
+	tests := []struct {
+		line int
+		rule string
+		want bool
+	}{
+		{10, "wallclock", true},
+		{10, "panic", true},
+		{10, "errwrap", false},
+		{11, "wallclock", true}, // line above
+		{12, "wallclock", false},
+		{20, "anything", true}, // wildcard
+		{21, "anything", true},
+	}
+	for _, tt := range tests {
+		if got := p.allowed("f.go", tt.line, tt.rule); got != tt.want {
+			t.Errorf("allowed(line=%d, %q) = %v, want %v", tt.line, tt.rule, got, tt.want)
+		}
+	}
+}
+
+// TestDefaultConfigScopes pins the repository policy: the live-socket server
+// and harnesses may read the wall clock; only internal/stats may panic.
+func TestDefaultConfigScopes(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, pre := range []string{"internal/dnsserver", "cmd/", "examples/"} {
+		if !exempt(pre+"/x.go", cfg.WallClockAllow) {
+			t.Errorf("WallClockAllow should cover %s", pre)
+		}
+	}
+	if exempt("internal/core/engine.go", cfg.WallClockAllow) {
+		t.Error("WallClockAllow must not cover internal/core")
+	}
+	if !exempt("internal/stats/stats.go", cfg.PanicAllow) {
+		t.Error("PanicAllow should cover internal/stats")
+	}
+	if exempt("internal/geo/geo.go", cfg.PanicAllow) {
+		t.Error("PanicAllow must not cover internal/geo")
+	}
+}

@@ -1,0 +1,215 @@
+package lintcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one parsed and type-checked package ready for analysis.
+type LoadedPackage struct {
+	Path string // import path
+	Dir  string // absolute directory
+	Root string // module root the rel-path diagnostics are anchored to
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// allow maps module-relative file path -> line -> rule names permitted
+	// by //repolint:allow comments on that line.
+	allow map[string]map[int]map[string]bool
+}
+
+func (p *LoadedPackage) relFile(pos token.Pos) string {
+	abs := p.Fset.Position(pos).Filename
+	rel, err := filepath.Rel(p.Root, abs)
+	if err != nil {
+		return abs
+	}
+	return cleanRelPath(filepath.ToSlash(rel))
+}
+
+// allowed reports whether rule is suppressed at file:line by an allow comment
+// on that line or the line directly above.
+func (p *LoadedPackage) allowed(relFile string, line int, rule string) bool {
+	lines := p.allow[relFile]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		if rules := lines[l]; rules != nil && (rules[rule] || rules["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//repolint:allow"
+
+// collectAllows indexes every //repolint:allow comment in the package.
+// Rule names follow the marker, separated by spaces or commas; everything
+// after a "--" is free-form justification. Example:
+//
+//	//repolint:allow panic -- table is compile-time constant
+func (p *LoadedPackage) collectAllows() {
+	p.allow = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //repolint:allowother
+				}
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				rel := p.relFile(c.Pos())
+				line := p.Fset.Position(c.Pos()).Line
+				for _, rule := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ' ' || r == '\t' || r == ','
+				}) {
+					lines := p.allow[rel]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						p.allow[rel] = lines
+					}
+					rules := lines[line]
+					if rules == nil {
+						rules = make(map[string]bool)
+						lines[line] = rules
+					}
+					rules[rule] = true
+				}
+			}
+		}
+	}
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// ModuleRoot walks upward from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lintcheck: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Load resolves patterns (e.g. "./...", "./internal/core") against the
+// module rooted at root, parses every matched package, and type-checks it
+// using export data produced by the go toolchain. Test files are not loaded:
+// the invariants guard the shipped simulation plane, and testdata fixture
+// packages are reached by naming their directories explicitly.
+func Load(root string, patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lintcheck: go list: %w\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintcheck: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lintcheck: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lintcheck: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*LoadedPackage
+	for _, t := range targets {
+		lp := &LoadedPackage{Path: t.ImportPath, Dir: t.Dir, Root: root, Fset: fset}
+		for _, name := range t.GoFiles {
+			file, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lintcheck: parsing %s: %w", name, err)
+			}
+			lp.Files = append(lp.Files, file)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, lp.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lintcheck: type-checking %s: %w", t.ImportPath, err)
+		}
+		lp.Types = pkg
+		lp.Info = info
+		lp.collectAllows()
+		out = append(out, lp)
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPolicyAnalyzer forbids panic() inside internal/ packages outside the
+// configured allowlist. The engine recovers worker panics into
+// ErrWorkerPanic, but a panic on a config-reachable path is still a crash for
+// every caller that has not opted into the engine; internal packages must
+// return errors instead. Shape-invariant assertions in internal/stats are
+// exempt by policy, and individual sites can justify themselves with
+// //repolint:allow panic.
+func PanicPolicyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "panicpolicy",
+		Doc:  "no panic() in internal/ outside the allowlist",
+		Run:  runPanicPolicy,
+	}
+}
+
+func runPanicPolicy(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		rel := pass.RelFile(file.Pos())
+		if !strings.Contains(rel, "internal/") || exempt(rel, pass.Cfg.PanicAllow) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			pass.Reportf("panic", call.Pos(),
+				"panic in internal/ package; return a sentinel error, or justify with //repolint:allow panic")
+			return true
+		})
+	}
+}

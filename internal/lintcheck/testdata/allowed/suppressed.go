@@ -1,0 +1,23 @@
+// Package allowed is a repolint fixture proving //repolint:allow comments
+// suppress diagnostics, both on the offending line and on the line above.
+// internal/lintcheck/lintcheck_test.go asserts it produces zero diagnostics.
+package allowed
+
+import "time"
+
+// SameLine suppresses on the offending line itself.
+func SameLine() int64 {
+	return time.Now().UnixNano() //repolint:allow wallclock -- fixture: suppressed in-line
+}
+
+// LineAbove suppresses from the line directly above.
+func LineAbove() int64 {
+	//repolint:allow wallclock -- fixture: suppressed from above
+	return time.Now().UnixNano()
+}
+
+// Quiet panics, but the allow comment names the rule explicitly.
+func Quiet() {
+	//repolint:allow panic -- fixture: justified assertion
+	panic("quiet")
+}

@@ -1,0 +1,47 @@
+// Package apihygiene is a repolint fixture for the API-hygiene rules; the
+// expected diagnostics (with exact line numbers) are asserted in
+// internal/lintcheck/lintcheck_test.go.
+package apihygiene
+
+import (
+	"context"
+	"sync"
+)
+
+// CtxSecond takes its context in the wrong position.
+func CtxSecond(name string, ctx context.Context) error { // want ctxfirst (line 12)
+	_ = name
+	return ctx.Err()
+}
+
+// CtxFirst is the clean counterpart; no diagnostic expected.
+func CtxFirst(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// CopyMutex copies the lock on every call.
+func CopyMutex(mu sync.Mutex) { // want mutexcopy (line 24)
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// guarded embeds a mutex by value.
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+// CopyGuarded copies the embedded lock along with the struct.
+func CopyGuarded(g guarded) int { // want mutexcopy (line 36)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}
+
+// UseGuarded is the clean counterpart; no diagnostic expected.
+func UseGuarded(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}

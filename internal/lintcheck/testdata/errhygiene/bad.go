@@ -1,0 +1,31 @@
+// Package errhygiene is a repolint fixture for the error-hygiene rules; the
+// expected diagnostics (with exact line numbers) are asserted in
+// internal/lintcheck/lintcheck_test.go.
+package errhygiene
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadSentinel should be errors.New: fmt.Errorf-built sentinels invite
+// formatting drift and cannot be wrapped consistently.
+var ErrBadSentinel = fmt.Errorf("errhygiene: bad sentinel") // want sentinel (line 13)
+
+// ErrGoodSentinel is the clean counterpart; no diagnostic expected.
+var ErrGoodSentinel = errors.New("errhygiene: good sentinel")
+
+// Swallow formats an error with %v, severing the errors.Is chain.
+func Swallow(err error) error {
+	return fmt.Errorf("swallowed: %v", err) // want errwrap (line 20)
+}
+
+// Wrap is the clean counterpart; no diagnostic expected.
+func Wrap(err error) error {
+	return fmt.Errorf("wrapped: %w", err)
+}
+
+// Formats reports no diagnostic: none of the arguments is an error.
+func Formats(n int, s string) error {
+	return fmt.Errorf("n=%d s=%q", n, s)
+}

@@ -1,0 +1,25 @@
+// Package panics is a repolint fixture for the panic-policy rule; the
+// expected diagnostics (with exact line numbers) are asserted in
+// internal/lintcheck/lintcheck_test.go.
+package panics
+
+import "errors"
+
+// ErrNegative is what Checked returns instead of panicking.
+var ErrNegative = errors.New("panics: negative input")
+
+// Explode panics on a config-reachable path.
+func Explode(n int) int {
+	if n < 0 {
+		panic("negative input") // want panic (line 14)
+	}
+	return n * 2
+}
+
+// Checked is the clean counterpart; no diagnostic expected.
+func Checked(n int) (int, error) {
+	if n < 0 {
+		return 0, ErrNegative
+	}
+	return n * 2, nil
+}

@@ -134,10 +134,12 @@ func New(cfg Config) (*Limiter, error) {
 	}, nil
 }
 
-// MustNew is New for known-good configs.
+// MustNew is New for known-good, compile-time-constant configs (tests and
+// defaults). Configs from external input must go through New.
 func MustNew(cfg Config) *Limiter {
 	l, err := New(cfg)
 	if err != nil {
+		//repolint:allow panic -- Must* contract: config is a compile-time constant
 		panic(err)
 	}
 	return l
