@@ -6,6 +6,11 @@ GO ?= go
 
 .PHONY: verify fmt vet build lint test race soak bench bench-workers reproduce
 
+# Keep bench going even if tee's upstream pipeline status matters on some
+# shells: the JSON step only runs when the bench run itself succeeded.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
 verify: fmt vet build lint test race
 
 fmt:
@@ -37,8 +42,16 @@ race:
 soak:
 	$(GO) run -race ./cmd/chaossoak -seeds 8
 
+# Tracked benchmark baseline: the per-figure benches plus the routing
+# (ComputeFullVsIncremental) and probe (ProbeOutcome) hot-path benches,
+# converted into BENCH_4.json (see README "Performance"). The Nov30 scaling
+# bench stays in bench-workers — it is far too heavy for a routine run.
+# BENCHTIME=1x is the quick CI variant.
+BENCHTIME ?= 1s
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
+		-skip 'Nov30EventWorkers' -timeout 60m ./... | tee bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_4.json
 
 # Parallel-engine scaling benches (byte-identical output per worker count).
 bench-workers:

@@ -413,6 +413,113 @@ func BenchmarkAblationFullRun(b *testing.B) {
 	}
 }
 
+// flapSequence builds the deterministic announcement-vector churn of a
+// flap-heavy attack window: one to three uplinks toggle per step, with a
+// periodic revert to the all-active vector (the shape a withdraw/cooldown
+// cycle produces, and the cache-hit shape in the engine).
+func flapSequence(nOrigins, steps int) [][]bool {
+	seq := make([][]bool, steps)
+	act := make([]bool, nOrigins)
+	for i := range act {
+		act[i] = true
+	}
+	for s := 0; s < steps; s++ {
+		if s%17 == 16 {
+			for i := range act {
+				act[i] = true
+			}
+		} else {
+			for k := 0; k <= s%3; k++ {
+				i := (s*7 + k*13) % nOrigins
+				act[i] = !act[i]
+			}
+		}
+		seq[s] = append([]bool(nil), act...)
+	}
+	return seq
+}
+
+// BenchmarkComputeFullVsIncremental is the headline routing bench: the same
+// flap-heavy Nov 30 announcement churn through (a) the reference
+// from-scratch Compute, (b) the warm-started incremental Computer, and
+// (c) the Computer behind the engine's announcement-vector memoization.
+// All three produce byte-identical tables (proved by the equivalence
+// tests); the ratio of their ns/op and allocs/op is the result tracked in
+// BENCH_4.json.
+func BenchmarkComputeFullVsIncremental(b *testing.B) {
+	g, err := topo.Generate(topo.DefaultConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	stubs := g.StubASNs()
+	var origins []bgpsim.Origin
+	for s := 0; s < 20; s++ {
+		for u := 0; u <= s%3; u++ {
+			origins = append(origins, bgpsim.Origin{
+				Site: s, Host: stubs[(s*101+u*37)%len(stubs)], Local: s%5 == 4,
+			})
+		}
+	}
+	seq := flapSequence(len(origins), 64)
+
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bgpsim.Compute(g, origins, seq[i%len(seq)])
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		c := bgpsim.NewComputer(g)
+		c.Compute(origins, seq[0]) // warm the scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Compute(origins, seq[i%len(seq)])
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		// The engine's memoization on top of the Computer: a flap cycle
+		// returning to a seen vector is a map hit, nothing is recomputed.
+		c := bgpsim.NewComputer(g)
+		cache := make(map[string]*bgpsim.Table)
+		key := make([]byte, 0, (len(origins)+7)/8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			act := seq[i%len(seq)]
+			key = key[:0]
+			var bits byte
+			for j, a := range act {
+				if a {
+					bits |= 1 << (uint(j) & 7)
+				}
+				if j&7 == 7 {
+					key = append(key, bits)
+					bits = 0
+				}
+			}
+			if len(act)&7 != 0 {
+				key = append(key, bits)
+			}
+			if _, ok := cache[string(key)]; !ok {
+				cache[string(key)] = c.Compute(origins, act)
+			}
+		}
+	})
+}
+
+// BenchmarkProbeOutcome measures the per-probe hot path against the shared
+// completed simulation: dense letter/epoch/city lookups and the scalar
+// server view should keep it allocation-free.
+func BenchmarkProbeOutcome(b *testing.B) {
+	ev, _ := benchWorld(b)
+	letters := ev.Deployment.SortedLetters()
+	vps := ev.Population.VPs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vp := &vps[i%len(vps)]
+		lb := letters[i%len(letters)]
+		_ = ev.ProbeOutcome(vp, lb, (i*37)%ev.Cfg.Minutes)
+	}
+}
+
 // --- Parallel-engine benches: the same work at each worker count ---
 //
 // The engine guarantees byte-identical output for every worker count, so

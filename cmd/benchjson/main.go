@@ -1,0 +1,180 @@
+// Command benchjson converts `go test -bench` output into the repository's
+// tracked benchmark baseline (BENCH_4.json): one entry per benchmark with
+// ns/op, B/op, allocs/op and any custom ReportMetric values, plus a summary
+// block with the headline ratios future PRs are judged against.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchmem ./... | benchjson -out BENCH_4.json
+//	benchjson -in bench.out -out BENCH_4.json
+//
+// The output contains no timestamps or host-specific paths, so regenerating
+// it on the same machine yields a minimal diff: only measured values change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the serialized baseline file.
+type Output struct {
+	Schema     string             `json:"schema"`
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Summary    map[string]float64 `json:"summary,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8   200   1234 ns/op   56 B/op ..." with
+// the measurement fields left for pair-wise parsing.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	out := flag.String("out", "", "JSON baseline file (default: stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	res, err := parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	res.Summary = summarize(res.Benchmarks)
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(res.Benchmarks), *out)
+}
+
+// parse scans bench output, keeping goos/goarch headers and result lines.
+func parse(r io.Reader) (*Output, error) {
+	res := &Output{Schema: "rootevent-bench-v1"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			res.Goos = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			res.Goarch = v
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		runs, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad run count in %q: %w", line, err)
+		}
+		b := Benchmark{Name: strings.TrimPrefix(m[1], "Benchmark"), Runs: runs}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd measurement fields in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+			}
+			val := v
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = &val
+			case "allocs/op":
+				b.AllocsPerOp = &val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		res.Benchmarks = append(res.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// summarize derives the headline ratios tracked across PRs. The "before"
+// numbers are the reference full-sweep sub-bench, measured in the same run
+// as the incremental path, so the ratio is apples-to-apples.
+func summarize(benchmarks []Benchmark) map[string]float64 {
+	byName := make(map[string]Benchmark, len(benchmarks))
+	for _, b := range benchmarks {
+		byName[b.Name] = b
+	}
+	s := make(map[string]float64)
+	full, okF := byName["ComputeFullVsIncremental/full"]
+	incr, okI := byName["ComputeFullVsIncremental/incremental"]
+	if okF && okI && incr.NsPerOp > 0 {
+		s["compute_speedup_full_vs_incremental"] = round2(full.NsPerOp / incr.NsPerOp)
+		if full.AllocsPerOp != nil && incr.AllocsPerOp != nil && *incr.AllocsPerOp > 0 {
+			s["compute_allocs_reduction"] = round2(*full.AllocsPerOp / *incr.AllocsPerOp)
+		}
+	}
+	if cached, ok := byName["ComputeFullVsIncremental/cached"]; ok && okF && cached.NsPerOp > 0 {
+		s["compute_speedup_full_vs_cached"] = round2(full.NsPerOp / cached.NsPerOp)
+	}
+	if probe, ok := byName["ProbeOutcome"]; ok {
+		s["probe_outcome_ns_per_op"] = probe.NsPerOp
+		if probe.AllocsPerOp != nil {
+			s["probe_outcome_allocs_per_op"] = *probe.AllocsPerOp
+		}
+	}
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+// round2 keeps ratio noise out of the committed file.
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

@@ -18,6 +18,8 @@ import (
 	"log"
 	"net"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
@@ -35,7 +37,21 @@ func main() {
 	workers := flag.Int("workers", 0, "total sender goroutines spread over the source sockets (0 = one per socket)")
 	useRRL := flag.Bool("rrl", true, "enable response-rate limiting on the server")
 	seed := flag.Int64("seed", 1, "prober RNG seed, so bench runs are reproducible")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeHeapProfile(*memProfile)
 
 	cfg := dnsserver.Config{Letter: 'K', Site: "LHR", Server: 1}
 	if *useRRL {
@@ -150,6 +166,29 @@ func main() {
 	} else {
 		fmt.Println("\nWithout RRL every accepted flood query is amplified into a response;")
 		fmt.Println("re-run with -rrl to see the suppression that blunted the 2015 events.")
+	}
+}
+
+// writeHeapProfile records a post-GC heap profile to path (no-op when
+// empty). It runs as a deferred cleanup, so failures log without Fatal —
+// the benchmark's results are already printed.
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("memprofile: %v", err)
+		return
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		log.Printf("memprofile: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("memprofile: %v", err)
 	}
 }
 

@@ -18,6 +18,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -47,7 +49,21 @@ func main() {
 	scheduleName := flag.String("schedule", "nov2015", "attack scenario: nov2015 (the paper) or june2016 (the follow-up event)")
 	faultsSpec := flag.String("faults", "", "inject a seeded fault plan on top of the attack: random:SEED[:PROFILE] (profiles: light, heavy, monitor)")
 	verbose := flag.Bool("progress", false, "log simulation/measurement progress")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeHeapProfile(*memProfile)
 
 	cfg := core.DefaultConfig(*seed)
 	cfg.VPs = *vps
@@ -459,6 +475,31 @@ func main() {
 
 	_ = atlas.AtlasTimeoutMs // keep import pinned for doc reference
 	log.Printf("all selected experiments done in %v", time.Since(start).Round(time.Millisecond))
+}
+
+// writeHeapProfile records a post-GC heap profile to path (no-op when
+// empty). It runs as a deferred cleanup, so failures log without Fatal —
+// the run's results are already on disk.
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("memprofile: %v", err)
+		return
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		log.Printf("memprofile: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("memprofile: %v", err)
+		return
+	}
+	log.Printf("wrote heap profile to %s", path)
 }
 
 // parseFaultsSpec parses the -faults flag value "random:SEED[:PROFILE]"

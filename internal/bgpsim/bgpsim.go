@@ -144,9 +144,18 @@ func (t *Table) SiteOf(a topo.ASN) int { return t.Routes[a].Site }
 // CatchmentSizes returns, for each site index < nSites, the number of ASes
 // routed to it.
 func (t *Table) CatchmentSizes(nSites int) []int {
-	sizes := make([]int, nSites)
+	return t.CatchmentSizesInto(make([]int, nSites))
+}
+
+// CatchmentSizesInto is CatchmentSizes with a caller-supplied buffer: sizes
+// is zeroed, filled per site index < len(sizes), and returned, so analysis
+// loops can reuse one buffer across epochs.
+func (t *Table) CatchmentSizesInto(sizes []int) []int {
+	for i := range sizes {
+		sizes[i] = 0
+	}
 	for _, r := range t.Routes {
-		if r.Site >= 0 && r.Site < nSites {
+		if r.Site >= 0 && r.Site < len(sizes) {
 			sizes[r.Site]++
 		}
 	}
@@ -156,6 +165,11 @@ func (t *Table) CatchmentSizes(nSites int) []int {
 // Compute propagates the origins' announcements across the graph and
 // returns the resulting routing table. active reports whether each origins
 // entry is currently announced; nil means all are active.
+//
+// This is the reference implementation: a from-scratch full sweep with
+// per-call state. Engines recomputing routes per epoch should hold a
+// Computer, whose incremental fixpoint produces byte-identical tables
+// while allocating nothing beyond the result.
 //
 // The computation is a synchronous path-vector iteration: each round, every
 // AS selects its best route among its own origins and its neighbors'
@@ -253,18 +267,18 @@ func Compute(g *topo.Graph, origins []Origin, active []bool) *Table {
 			break
 		}
 	}
-	resolveDefaults(g, cur)
+	resolveDefaultsInto(g, cur, make([]uint8, len(cur)))
 	return &Table{Routes: cur}
 }
 
-// resolveDefaults fills in forwarding for ASes without a BGP route: edge
-// networks run default routes toward a transit provider, so their packets
-// climb the hierarchy until they hit an AS that does hold a route (or a
-// default-free tier-1 without one, where they die). The provider choice is
-// the same per-AS deterministic hash as route tie-breaking.
-func resolveDefaults(g *topo.Graph, routes []Route) {
+// resolveDefaultsInto fills in forwarding for ASes without a BGP route:
+// edge networks run default routes toward a transit provider, so their
+// packets climb the hierarchy until they hit an AS that does hold a route
+// (or a default-free tier-1 without one, where they die). The provider
+// choice is the same per-AS deterministic hash as route tie-breaking.
+// state is per-AS visit scratch and must arrive zeroed.
+func resolveDefaultsInto(g *topo.Graph, routes []Route, state []uint8) {
 	const unresolved, resolving, done = 0, 1, 2
-	state := make([]uint8, len(routes))
 	var fill func(asn topo.ASN) Route
 	fill = func(asn topo.ASN) Route {
 		if state[asn] == done || routes[asn].Valid() {
@@ -312,13 +326,20 @@ type Change struct {
 // tables. The result drives both site-flip accounting and the BGPmon
 // collector view.
 func Diff(old, new *Table) []Change {
-	var out []Change
+	return AppendDiff(nil, old, new)
+}
+
+// AppendDiff is Diff with a caller-supplied buffer: changes are appended to
+// dst (which may be nil) and the extended slice returned, so per-epoch
+// diffing inside the engine reuses one buffer instead of allocating per
+// call.
+func AppendDiff(dst []Change, old, new *Table) []Change {
 	for i := range new.Routes {
 		if old.Routes[i].Site != new.Routes[i].Site {
-			out = append(out, Change{ASN: topo.ASN(i), From: old.Routes[i].Site, To: new.Routes[i].Site})
+			dst = append(dst, Change{ASN: topo.ASN(i), From: old.Routes[i].Site, To: new.Routes[i].Site})
 		}
 	}
-	return out
+	return dst
 }
 
 // Trace reconstructs the AS-level forwarding path from an AS toward the

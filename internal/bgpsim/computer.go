@@ -1,0 +1,307 @@
+package bgpsim
+
+import (
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+// Computer computes routing tables for one graph with reusable scratch
+// state, so the per-epoch cost of a routing engine tracks the size of the
+// routing *change*, not the size of the Internet.
+//
+// Three mechanisms stack on top of the reference Compute:
+//
+//   - Dense scratch: ASNs are dense indices 0..N-1, so the per-AS seed and
+//     NO_EXPORT-advert lists live in slice-indexed buffers owned by the
+//     Computer instead of per-call maps. Repeated Compute calls on the
+//     same graph allocate nothing beyond the returned Table.
+//   - Frontier fixpoint: each synchronous round re-evaluates only ASes
+//     whose inputs (own announcements or a neighbor's route) changed in
+//     the previous round, in ascending-ASN order. An AS with unchanged
+//     inputs would recompute the identical best route, so skipping it is
+//     exact: the fixpoint is byte-identical to the full sweep's.
+//   - Warm start: the fixpoint is seeded from the previous call's
+//     converged state, with only the ASes whose announcements changed
+//     since that call on the initial frontier. Route selection is a
+//     strict preference order (Gao-Rexford class, path length, per-AS tie
+//     rank), so the stable solution is unique and the warm-started
+//     iteration converges to the same table a cold start produces.
+//
+// A Computer is bound to its graph, which must not be mutated, and is not
+// safe for concurrent use; give each goroutine its own instance.
+type Computer struct {
+	g *topo.Graph
+	n int
+
+	// cur holds the converged pre-default fixpoint between calls (the warm
+	// start state); next is the in-round evaluation buffer.
+	cur, next []Route
+
+	// Announcement scratch, double-buffered so each call can diff its
+	// announcements against the previous call's. seeds/localAdverts are
+	// dense by ASN; touched lists which entries are non-empty.
+	seeds, prevSeeds     [][]Route
+	adverts, prevAdverts [][]Route
+	touched, prevTouched []topo.ASN
+
+	// Frontier state: dirty marks ASes to evaluate this round, nextDirty
+	// collects the ASes whose inputs the current round invalidated.
+	dirty, nextDirty []bool
+	dirtyCount       int
+
+	// defState is resolveDefaults' visit-state scratch.
+	defState []uint8
+
+	// warm reports whether cur holds a previous fixpoint to start from.
+	warm bool
+}
+
+// NewComputer returns a Computer for the given graph.
+func NewComputer(g *topo.Graph) *Computer {
+	n := g.N()
+	c := &Computer{
+		g:           g,
+		n:           n,
+		cur:         make([]Route, n),
+		next:        make([]Route, n),
+		seeds:       make([][]Route, n),
+		prevSeeds:   make([][]Route, n),
+		adverts:     make([][]Route, n),
+		prevAdverts: make([][]Route, n),
+		dirty:       make([]bool, n),
+		nextDirty:   make([]bool, n),
+		defState:    make([]uint8, n),
+	}
+	return c
+}
+
+// Reset drops the warm-start state; the next Compute runs a cold, full
+// fixpoint (still without allocating).
+func (c *Computer) Reset() { c.warm = false }
+
+// Compute returns the routing table for the given announcements, exactly as
+// the package-level Compute would, reusing the Computer's scratch and
+// warm-starting from the previous call's fixpoint. active reports whether
+// each origins entry is currently announced; nil means all are active.
+func (c *Computer) Compute(origins []Origin, active []bool) *Table {
+	c.buildAnnouncements(origins, active)
+
+	if !c.warm {
+		// Cold start: every AS is on the initial frontier and the state is
+		// all-NoSite, which makes round 0 the reference full sweep.
+		for i := range c.cur {
+			c.cur[i] = Route{Site: NoSite}
+		}
+		c.dirtyCount = 0
+		for asn := 0; asn < c.n; asn++ {
+			c.markDirty(topo.ASN(asn))
+		}
+		c.warm = true
+	} else {
+		// Warm start: only ASes whose own announcements changed since the
+		// previous call seed the frontier; everything else re-enters the
+		// iteration when (and only when) a neighbor's route changes.
+		c.seedFrontierFromDiff()
+	}
+
+	c.iterate()
+
+	out := make([]Route, c.n)
+	copy(out, c.cur)
+	for i := range c.defState {
+		c.defState[i] = 0
+	}
+	resolveDefaultsInto(c.g, out, c.defState)
+	return &Table{Routes: out}
+}
+
+// buildAnnouncements fills the dense per-AS seed and NO_EXPORT-advert lists
+// for this call, preserving the previous call's lists for diffing. Entry
+// construction order matches the reference Compute exactly (origins in
+// index order, then each local origin's customers in adjacency order):
+// route selection keeps the incumbent on exact ties, so consideration
+// order is part of the result.
+func (c *Computer) buildAnnouncements(origins []Origin, active []bool) {
+	c.seeds, c.prevSeeds = c.prevSeeds, c.seeds
+	c.adverts, c.prevAdverts = c.prevAdverts, c.adverts
+	c.touched, c.prevTouched = c.prevTouched, c.touched
+
+	for _, a := range c.touched {
+		c.seeds[a] = c.seeds[a][:0]
+		c.adverts[a] = c.adverts[a][:0]
+	}
+	c.touched = c.touched[:0]
+
+	touch := func(a topo.ASN) {
+		if len(c.seeds[a]) == 0 && len(c.adverts[a]) == 0 {
+			c.touched = append(c.touched, a)
+		}
+	}
+	for i, o := range origins {
+		if active != nil && !active[i] {
+			continue
+		}
+		touch(o.Host)
+		c.seeds[o.Host] = append(c.seeds[o.Host], Route{
+			Site: o.Site, PathLen: 0, Class: FromSelf, NextHop: o.Host, origin: i, noExport: o.Local,
+		})
+		if o.Local {
+			host := c.g.AS(o.Host)
+			for _, cust := range host.Customers {
+				touch(cust)
+				c.adverts[cust] = append(c.adverts[cust], Route{
+					Site: o.Site, PathLen: 1, Class: FromProvider, NextHop: o.Host, origin: i, noExport: true,
+				})
+			}
+		}
+	}
+}
+
+// seedFrontierFromDiff marks every AS whose seed or advert list differs
+// from the previous call's as dirty.
+func (c *Computer) seedFrontierFromDiff() {
+	c.dirtyCount = 0
+	for _, a := range c.touched {
+		if !routesEqual(c.seeds[a], c.prevSeeds[a]) || !routesEqual(c.adverts[a], c.prevAdverts[a]) {
+			c.markDirty(a)
+		}
+	}
+	for _, a := range c.prevTouched {
+		if !routesEqual(c.seeds[a], c.prevSeeds[a]) || !routesEqual(c.adverts[a], c.prevAdverts[a]) {
+			c.markDirty(a)
+		}
+	}
+}
+
+// routesEqual reports element-wise equality of two route lists.
+func routesEqual(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// markDirty adds an AS to the pending frontier (idempotent).
+func (c *Computer) markDirty(a topo.ASN) {
+	if !c.dirty[a] {
+		c.dirty[a] = true
+		c.dirtyCount++
+	}
+}
+
+// iterate runs the synchronous path-vector fixpoint over the dirty
+// frontier. Each round evaluates the frontier in ascending-ASN order
+// against the previous round's state (two-phase: evaluate, then commit),
+// which reproduces the reference full sweep's simultaneous-update
+// semantics; a committed change re-enqueues every neighbor that reads the
+// changed route.
+func (c *Computer) iterate() {
+	const maxRounds = 128
+	for round := 0; round < maxRounds && c.dirtyCount > 0; round++ {
+		// Phase 1: evaluate the frontier against the pre-round state.
+		remaining := c.dirtyCount
+		for asn := 0; asn < c.n && remaining > 0; asn++ {
+			if !c.dirty[asn] {
+				continue
+			}
+			remaining--
+			c.next[asn] = c.evaluate(topo.ASN(asn))
+		}
+		// Phase 2: commit changes and build the next frontier.
+		nextCount := 0
+		for asn := 0; asn < c.n; asn++ {
+			if !c.dirty[asn] {
+				continue
+			}
+			c.dirty[asn] = false
+			if c.next[asn] == c.cur[asn] {
+				continue
+			}
+			c.cur[asn] = c.next[asn]
+			node := c.g.AS(topo.ASN(asn))
+			for _, nb := range node.Providers {
+				if !c.nextDirty[nb] {
+					c.nextDirty[nb] = true
+					nextCount++
+				}
+			}
+			for _, nb := range node.Peers {
+				if !c.nextDirty[nb] {
+					c.nextDirty[nb] = true
+					nextCount++
+				}
+			}
+			for _, nb := range node.Customers {
+				if !c.nextDirty[nb] {
+					c.nextDirty[nb] = true
+					nextCount++
+				}
+			}
+		}
+		c.dirty, c.nextDirty = c.nextDirty, c.dirty
+		c.dirtyCount = nextCount
+	}
+	// A frontier still pending after maxRounds means the graph did not
+	// converge (impossible under Gao-Rexford preferences); drop it so the
+	// next call starts from a consistent, if truncated, state — the same
+	// cutoff behaviour as the reference Compute.
+	if c.dirtyCount > 0 {
+		for asn := range c.dirty {
+			c.dirty[asn] = false
+		}
+		c.dirtyCount = 0
+	}
+}
+
+// evaluate selects an AS's best route from its own announcements and its
+// neighbors' current routes, in the reference Compute's exact
+// consideration order.
+func (c *Computer) evaluate(a topo.ASN) Route {
+	best := Route{Site: NoSite}
+	for _, r := range c.seeds[a] {
+		if better(a, r, best) {
+			best = r
+		}
+	}
+	for _, r := range c.adverts[a] {
+		if better(a, r, best) {
+			best = r
+		}
+	}
+	node := c.g.AS(a)
+	for _, cn := range node.Customers {
+		r := c.cur[cn]
+		if !r.Valid() || r.noExport || r.Class > FromCustomer {
+			continue
+		}
+		cand := Route{Site: r.Site, PathLen: nextLen(r.PathLen), Class: FromCustomer, NextHop: cn, origin: r.origin}
+		if better(a, cand, best) {
+			best = cand
+		}
+	}
+	for _, p := range node.Peers {
+		r := c.cur[p]
+		if !r.Valid() || r.noExport || r.Class > FromCustomer {
+			continue
+		}
+		cand := Route{Site: r.Site, PathLen: nextLen(r.PathLen), Class: FromPeer, NextHop: p, origin: r.origin}
+		if better(a, cand, best) {
+			best = cand
+		}
+	}
+	for _, p := range node.Providers {
+		r := c.cur[p]
+		if !r.Valid() || r.noExport {
+			continue
+		}
+		cand := Route{Site: r.Site, PathLen: nextLen(r.PathLen), Class: FromProvider, NextHop: p, origin: r.origin}
+		if better(a, cand, best) {
+			best = cand
+		}
+	}
+	return best
+}

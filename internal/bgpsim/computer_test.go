@@ -1,0 +1,184 @@
+package bgpsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+// routesIdentical compares full Route values (unexported fields included):
+// the Computer's contract is byte-identity with the reference Compute, not
+// just matching site selections.
+func routesIdentical(t *testing.T, ref, got *Table, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Routes, got.Routes) {
+		for i := range ref.Routes {
+			if ref.Routes[i] != got.Routes[i] {
+				t.Fatalf("%s: AS%d: reference %+v, computer %+v", label, i, ref.Routes[i], got.Routes[i])
+			}
+		}
+		t.Fatalf("%s: tables differ", label)
+	}
+}
+
+// testGraph generates a mid-size three-tier topology for equivalence runs.
+func testGraph(t *testing.T, seed int64) *topo.Graph {
+	t.Helper()
+	g, err := topo.Generate(topo.Config{Tier1s: 5, Tier2s: 40, Stubs: 400, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testOrigins places nSites anycast origins (some multi-uplink, some local)
+// deterministically across the graph's stubs.
+func testOrigins(g *topo.Graph, nSites int) []Origin {
+	stubs := g.StubASNs()
+	var origins []Origin
+	for s := 0; s < nSites; s++ {
+		uplinks := 1 + s%3
+		for u := 0; u < uplinks; u++ {
+			origins = append(origins, Origin{
+				Site:  s,
+				Host:  stubs[(s*101+u*37)%len(stubs)],
+				Local: s%5 == 4,
+			})
+		}
+	}
+	return origins
+}
+
+func TestComputerMatchesReferenceColdStart(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		g := testGraph(t, seed)
+		origins := testOrigins(g, 8)
+		ref := Compute(g, origins, nil)
+		got := NewComputer(g).Compute(origins, nil)
+		routesIdentical(t, ref, got, "cold start")
+	}
+}
+
+func TestComputerMatchesReferenceOnTinyGraph(t *testing.T) {
+	g := tinyGraph()
+	origins := []Origin{{Site: 0, Host: 4}, {Site: 1, Host: 5}, {Site: 2, Host: 6, Local: true}}
+	c := NewComputer(g)
+	// Every subset of active announcements, replayed in sequence on one
+	// Computer so each step warm-starts from the previous subset.
+	for mask := 0; mask < 1<<len(origins); mask++ {
+		active := make([]bool, len(origins))
+		for i := range active {
+			active[i] = mask&(1<<i) != 0
+		}
+		ref := Compute(g, origins, active)
+		got := c.Compute(origins, active)
+		routesIdentical(t, ref, got, "subset mask")
+	}
+}
+
+// TestComputerMatchesReferenceUnderFlapSequence replays a long random
+// withdraw/re-announce sequence — the attack-window workload — and checks
+// byte-identity at every step of the warm-started incremental fixpoint.
+func TestComputerMatchesReferenceUnderFlapSequence(t *testing.T) {
+	g := testGraph(t, 3)
+	origins := testOrigins(g, 10)
+	c := NewComputer(g)
+	rng := rand.New(rand.NewSource(99))
+	active := make([]bool, len(origins))
+	for i := range active {
+		active[i] = true
+	}
+	for step := 0; step < 60; step++ {
+		// Flap one to three uplinks per step; occasionally revert to the
+		// all-active vector (the cache-hit shape in the engine).
+		if step%17 == 16 {
+			for i := range active {
+				active[i] = true
+			}
+		} else {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				i := rng.Intn(len(active))
+				active[i] = !active[i]
+			}
+		}
+		ref := Compute(g, origins, active)
+		got := c.Compute(origins, active)
+		routesIdentical(t, ref, got, "flap step")
+	}
+}
+
+// TestComputerRepeatedVectorIsStable checks that recomputing an unchanged
+// announcement vector returns the identical table (the warm path with an
+// empty frontier) and that Reset forces a cold, still-identical recompute.
+func TestComputerRepeatedVectorIsStable(t *testing.T) {
+	g := testGraph(t, 5)
+	origins := testOrigins(g, 6)
+	c := NewComputer(g)
+	first := c.Compute(origins, nil)
+	second := c.Compute(origins, nil)
+	routesIdentical(t, first, second, "repeat")
+	c.Reset()
+	cold := c.Compute(origins, nil)
+	routesIdentical(t, first, cold, "after Reset")
+}
+
+// TestComputerSteadyStateAllocations pins the allocation contract: a warm
+// recompute allocates only the returned table (routes slice + header),
+// regardless of how much of the graph the change touches.
+func TestComputerSteadyStateAllocations(t *testing.T) {
+	g := testGraph(t, 11)
+	origins := testOrigins(g, 8)
+	c := NewComputer(g)
+	active := make([]bool, len(origins))
+	for i := range active {
+		active[i] = true
+	}
+	c.Compute(origins, active) // warm up scratch growth
+	toggle := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		active[toggle] = !active[toggle]
+		toggle = (toggle + 1) % len(origins)
+		c.Compute(origins, active)
+	})
+	if allocs > 2 {
+		t.Errorf("warm Compute allocates %.0f objects per call, want <= 2 (result table only)", allocs)
+	}
+}
+
+func TestAppendDiffMatchesDiff(t *testing.T) {
+	g := testGraph(t, 2)
+	origins := testOrigins(g, 6)
+	before := Compute(g, origins, nil)
+	active := make([]bool, len(origins))
+	for i := range active {
+		active[i] = i != 0
+	}
+	after := Compute(g, origins, active)
+	ref := Diff(before, after)
+	buf := make([]Change, 0, 4)
+	got := AppendDiff(buf[:0], before, after)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("AppendDiff = %v, want %v", got, ref)
+	}
+	// Appending after existing contents preserves them.
+	prefixed := AppendDiff([]Change{{ASN: 0, From: 1, To: 2}}, before, after)
+	if len(prefixed) != len(ref)+1 || !reflect.DeepEqual(prefixed[1:], ref) {
+		t.Fatalf("AppendDiff did not append after existing contents")
+	}
+}
+
+func TestCatchmentSizesInto(t *testing.T) {
+	g := tinyGraph()
+	tb := Compute(g, []Origin{{Site: 0, Host: 4}, {Site: 1, Host: 5}}, nil)
+	ref := tb.CatchmentSizes(2)
+	buf := []int{99, 99}
+	got := tb.CatchmentSizesInto(buf)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("CatchmentSizesInto = %v, want %v", got, ref)
+	}
+	if &buf[0] != &got[0] {
+		t.Fatal("CatchmentSizesInto did not reuse the caller's buffer")
+	}
+}

@@ -172,8 +172,10 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 				failedLegitQPS += f
 			}
 			if t.recomputed {
+				// Observe copies the changes, so the pending buffer is
+				// reusable across minutes.
 				ev.Collector.Observe(minute+1, ls.letter.Letter, ls.pending)
-				ls.pending = nil
+				ls.pending = ls.pending[:0]
 			}
 		}
 
@@ -224,6 +226,12 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 		if ev.opts.progress != nil {
 			ev.opts.progress(Progress{Stage: StageRun, Done: minute + 1, Total: ev.Cfg.Minutes})
 		}
+	}
+
+	// Epoch sequences are final: materialize each letter's minute -> epoch
+	// index so post-run probe lookups are O(1).
+	for _, ls := range states {
+		ls.buildEpochIndex(ev.Cfg.Minutes)
 	}
 
 	ev.buildNLSeries()

@@ -155,6 +155,27 @@ type letterState struct {
 	// index is the letter's position in SortedLetters order; the engine's
 	// barrier merges cross-letter contributions in this order.
 	index int
+	// targeted caches sched.Targeted(letter) for the probe hot path.
+	targeted bool
+	// comp is this letter's incremental route computer. Each letterState is
+	// owned by exactly one engine worker per minute, so the scratch inside
+	// is never shared across goroutines.
+	comp *bgpsim.Computer
+	// tableCache memoizes computed route tables by effective announcement
+	// vector (packed to a bitset key). Compute is a pure function of
+	// (graph, origins, active), so a flap cycle returning to a
+	// previously-seen vector reuses the exact table — and the cached
+	// LegitFrac/AttackFrac that derive from it — without recomputing.
+	tableCache map[string]*routeEntry
+	keyBuf     []byte
+	// epochIdx maps minute -> index into epochs, built once after Run so
+	// post-run probe lookups are O(1) instead of a per-probe binary search.
+	epochIdx []int32
+	// siteCity[si] indexes the site's city in the evaluator's city tables
+	// (-1 when unknown), replacing a per-probe map lookup.
+	siteCity []int32
+	// txt aliases the evaluator's CHAOS identity strings for this letter.
+	txt [][]string
 	// effActive is active masked by the fault overlay (nil when the run
 	// has no fault plan, so fault-free runs take the exact pre-fault
 	// code paths). Routing and service computations read effective().
@@ -183,6 +204,47 @@ type letterState struct {
 	responses    []float64
 }
 
+// routeEntry is one memoized routing result: the table plus the per-site
+// traffic shares derived from it. Entries are immutable once stored.
+type routeEntry struct {
+	table      *bgpsim.Table
+	legitFrac  []float64
+	attackFrac []float64
+}
+
+// packActiveKey appends the announcement vector as a bitset to dst and
+// returns it — the table-cache key.
+func packActiveKey(dst []byte, active []bool) []byte {
+	var b byte
+	for i, a := range active {
+		if a {
+			b |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			dst = append(dst, b)
+			b = 0
+		}
+	}
+	if len(active)&7 != 0 {
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// buildEpochIndex materializes the minute -> epoch mapping after Run, so
+// every later epochAt is a single slice load.
+func (ls *letterState) buildEpochIndex(minutes int) {
+	idx := make([]int32, minutes)
+	j := 0
+	for m := 0; m < minutes; m++ {
+		for j+1 < len(ls.epochs) && ls.epochs[j+1].Start <= m {
+			j++
+		}
+		idx[m] = int32(j)
+	}
+	ls.epochIdx = idx
+}
+
 // Evaluator runs the full reproduction and implements atlas.World.
 type Evaluator struct {
 	Cfg        Config
@@ -195,8 +257,11 @@ type Evaluator struct {
 	RSSAC      *rssac.Accumulator
 
 	letters map[byte]*letterState
-	sched   *attack.Schedule
-	opts    options
+	// letterTab is the dense by-byte view of letters, replacing a map
+	// lookup on the per-probe hot path.
+	letterTab [256]*letterState
+	sched     *attack.Schedule
+	opts      options
 	// flt is the compiled fault plan (nil when faults are disabled).
 	// All its lookups are read-only and per-letter, which is what keeps
 	// worker-count equivalence intact under injection.
@@ -223,6 +288,13 @@ type Evaluator struct {
 
 	// rttMatrix caches city-to-city baseline RTTs.
 	rttMatrix [][]float64
+	// vpCity[id] is each vantage point's city index (-1 unknown), and
+	// asnCity[asn] each AS's, so per-probe RTT lookups index rttMatrix
+	// directly instead of hashing city codes.
+	vpCity  []int32
+	asnCity []int32
+	// evActive[m] caches sched.Active(m) for every simulated minute.
+	evActive []int32
 	// txt caches CHAOS identity strings per letter/site/server.
 	txt map[byte][][]string
 
@@ -380,7 +452,27 @@ func (ev *Evaluator) buildCaches() error {
 		return ev.clientWeights[i].asn < ev.clientWeights[j].asn
 	})
 	ev.stubs = ev.Graph.StubASNs()
+	ev.asnCity = make([]int32, ev.Graph.N())
+	for i := range ev.asnCity {
+		ev.asnCity[i] = cityIndexOf(ev.cityIdx, ev.Graph.ASes[i].City.Code)
+	}
+	ev.vpCity = make([]int32, len(ev.Population.VPs))
+	for i := range ev.vpCity {
+		ev.vpCity[i] = cityIndexOf(ev.cityIdx, ev.Population.VPs[i].City.Code)
+	}
+	ev.evActive = make([]int32, ev.Cfg.Minutes)
+	for m := range ev.evActive {
+		ev.evActive[m] = int32(ev.sched.Active(m))
+	}
 	return nil
+}
+
+// cityIndexOf resolves a city code to its dense index, -1 when unknown.
+func cityIndexOf(idx map[string]int, code string) int32 {
+	if i, ok := idx[code]; ok {
+		return int32(i)
+	}
+	return -1
 }
 
 func (ev *Evaluator) buildLetterStates() {
@@ -460,7 +552,16 @@ func (ev *Evaluator) buildLetterStates() {
 		ls.retryServed = make([]float64, ev.Cfg.Minutes)
 		ls.responses = make([]float64, ev.Cfg.Minutes)
 		ls.util = make([]float64, nSites)
+		ls.targeted = ev.sched.Targeted(l.Letter)
+		ls.comp = bgpsim.NewComputer(ev.Graph)
+		ls.tableCache = make(map[string]*routeEntry)
+		ls.txt = ev.txt[l.Letter]
+		ls.siteCity = make([]int32, nSites)
+		for si, s := range l.Sites {
+			ls.siteCity[si] = cityIndexOf(ev.cityIdx, s.City.Code)
+		}
 		ev.letters[l.Letter] = ls
+		ev.letterTab[l.Letter] = ls
 	}
 	for i, lb := range ev.Deployment.SortedLetters() {
 		ev.letters[lb].index = i
@@ -471,8 +572,44 @@ func (ev *Evaluator) buildLetterStates() {
 // leaves the routing diff in ls.pending for the engine's barrier to hand
 // to the BGP collector (the only shared sink). Safe to call from an engine
 // worker: it reads only immutable evaluator state and writes only ls.
+//
+// Routing is memoized: the table (and the traffic shares derived from it)
+// is a pure function of the effective announcement vector, so a flap cycle
+// that returns to a previously-seen vector reuses the stored result. Cache
+// misses go through the letter's incremental Computer, which warm-starts
+// from the last-computed fixpoint; both paths produce tables byte-identical
+// to a from-scratch bgpsim.Compute, so the epoch sequence — and the BGP
+// diff stream derived from it — is unchanged by the caching.
 func (ev *Evaluator) computeEpoch(ls *letterState, minute int) {
-	table := bgpsim.Compute(ev.Graph, ls.origins, ls.effective())
+	act := ls.effective()
+	var ent *routeEntry
+	if ev.opts.routingCache {
+		ls.keyBuf = packActiveKey(ls.keyBuf[:0], act)
+		if hit, ok := ls.tableCache[string(ls.keyBuf)]; ok {
+			ent = hit
+		} else {
+			ent = ev.newRouteEntry(ls, ls.comp.Compute(ls.origins, act))
+			ls.tableCache[string(ls.keyBuf)] = ent
+		}
+	} else {
+		// Ablation path (WithRoutingCache(false)): the reference full-sweep
+		// computation, exactly as the pre-incremental engine ran it.
+		ent = ev.newRouteEntry(ls, bgpsim.Compute(ev.Graph, ls.origins, act))
+	}
+	ep := epoch{Start: minute, Table: ent.table, LegitFrac: ent.legitFrac, AttackFrac: ent.attackFrac}
+	if len(ls.epochs) > 0 {
+		prev := ls.epochs[len(ls.epochs)-1]
+		// Append rather than overwrite: a fault transition and a router
+		// change can both recompute within the same minute, and the
+		// collector must see both diffs.
+		ls.pending = bgpsim.AppendDiff(ls.pending, prev.Table, ent.table)
+	}
+	ls.epochs = append(ls.epochs, ep)
+}
+
+// newRouteEntry derives the per-site traffic shares from a routing table.
+// The result is immutable: epochs and the table cache alias it freely.
+func (ev *Evaluator) newRouteEntry(ls *letterState, table *bgpsim.Table) *routeEntry {
 	nSites := len(ls.letter.Sites)
 	legit := make([]float64, nSites)
 	attackShare := make([]float64, nSites)
@@ -499,15 +636,7 @@ func (ev *Evaluator) computeEpoch(ls *letterState, minute int) {
 			}
 		}
 	}
-	ep := epoch{Start: minute, Table: table, LegitFrac: legit, AttackFrac: attackShare}
-	if len(ls.epochs) > 0 {
-		prev := ls.epochs[len(ls.epochs)-1]
-		// Append rather than overwrite: a fault transition and a router
-		// change can both recompute within the same minute, and the
-		// collector must see both diffs.
-		ls.pending = append(ls.pending, bgpsim.Diff(prev.Table, table)...)
-	}
-	ls.epochs = append(ls.epochs, ep)
+	return &routeEntry{table: table, legitFrac: legit, attackFrac: attackShare}
 }
 
 // effective returns the announcement vector routing should see: active
@@ -520,8 +649,25 @@ func (ls *letterState) effective() []bool {
 	return ls.active
 }
 
-// epochAt returns the routing epoch in force at a minute.
+// epochAt returns the routing epoch in force at a minute, or nil when the
+// letter has no epochs yet or the minute is negative (misuse paths that
+// previously indexed out of bounds).
 func (ls *letterState) epochAt(minute int) *epoch {
+	if minute < 0 || len(ls.epochs) == 0 {
+		return nil
+	}
+	if ls.epochIdx != nil {
+		// Post-run fast path: the minute -> epoch index built by Run makes
+		// every probe lookup a single load instead of a binary search.
+		if minute >= len(ls.epochIdx) {
+			minute = len(ls.epochIdx) - 1
+		}
+		return &ls.epochs[ls.epochIdx[minute]]
+	}
+	// During Run the epoch in force is almost always the newest one.
+	if last := &ls.epochs[len(ls.epochs)-1]; last.Start <= minute {
+		return last
+	}
 	// Epochs are appended in time order; binary search the last with
 	// Start <= minute.
 	i := sort.Search(len(ls.epochs), func(i int) bool { return ls.epochs[i].Start > minute })
@@ -679,8 +825,17 @@ func (ev *Evaluator) coin(vp atlas.VPID, letter byte, minute int, salt uint64) f
 	return float64(mix64(key)>>11) / float64(1<<53)
 }
 
-// ProbeOutcome implements atlas.World against the simulated event.
+// ProbeOutcome implements atlas.World against the simulated event. This is
+// the measurement hot path — called VPs x letters x minutes times — so
+// every lookup is a dense-array index (letter table, epoch index, site city,
+// VP city) and the per-server view is computed scalar-wise; a probe
+// allocates nothing.
 func (ev *Evaluator) ProbeOutcome(vp *atlas.VP, letter byte, minute int) atlas.Outcome {
+	if minute < 0 {
+		// A negative minute used to index service arrays out of bounds;
+		// treat it as the misuse it is rather than panicking mid-campaign.
+		return atlas.Outcome{Status: atlas.Timeout}
+	}
 	if minute >= ev.Cfg.Minutes {
 		minute = ev.Cfg.Minutes - 1
 	}
@@ -695,11 +850,16 @@ func (ev *Evaluator) ProbeOutcome(vp *atlas.VP, letter byte, minute int) atlas.O
 		// identity at an implausibly short RTT (§2.4.1).
 		return atlas.Outcome{Status: atlas.OK, Site: 0, RTTms: 2 + 3*ev.coin(vp.ID, letter, minute, 1), ChaosTXT: "dnsmasq-2.76"}
 	}
-	ls, ok := ev.letters[letter]
-	if !ok {
+	ls := ev.letterTab[letter]
+	if ls == nil {
 		return atlas.Outcome{Status: atlas.Timeout}
 	}
 	ep := ls.epochAt(minute)
+	if ep == nil {
+		// Run has not produced an epoch for this letter (zero-epoch
+		// misuse path that previously panicked on epochs[0]).
+		return atlas.Outcome{Status: atlas.Timeout}
+	}
 	site := ep.Table.SiteOf(vp.ASN)
 	if site < 0 {
 		return atlas.Outcome{Status: atlas.Timeout}
@@ -716,8 +876,8 @@ func (ev *Evaluator) ProbeOutcome(vp *atlas.VP, letter byte, minute int) atlas.O
 	// attack but share a stressed city (§3.6, Figure 14). Root sites
 	// have their own uplinks, so shared-facility stress costs them a
 	// bounded fraction of queries — unlike the rack-sharing .nl nodes.
-	if !ev.sched.Targeted(letter) {
-		if ci, ok := ev.cityIdx[s.City.Code]; ok {
+	if !ls.targeted {
+		if ci := ls.siteCity[site]; ci >= 0 {
 			cl := collateralLoss(ev.cityExcess[ci][minute], collateralFullQPS)
 			if cl > 0.45 {
 				cl = 0.45
@@ -728,30 +888,25 @@ func (ev *Evaluator) ProbeOutcome(vp *atlas.VP, letter byte, minute int) atlas.O
 
 	// Server selection behind the load balancer.
 	st := netsim.State{LossFrac: loss, ExtraDelayMs: delay}
-	evIdx := ev.sched.Active(minute)
-	view := netsim.Servers(s, st, ev.Cfg.Netsim, evIdx+1)
+	evIdx := int(ev.evActive[minute])
 	server := 1 + int(mix64(uint64(vp.ID)<<20^uint64(uint32(minute/4))^uint64(letter))%uint64(s.NumServers))
-	if view.Active > 0 {
-		// Under isolation every surviving reply comes from the active
-		// server (Figure 12).
-		server = view.Active
-	}
-	if !view.Responds[server-1] {
+	server, responds, srvLoss, srvDelay := netsim.ProbeServer(s, st, ev.Cfg.Netsim, evIdx+1, server)
+	if !responds {
 		return atlas.Outcome{Status: atlas.Timeout}
 	}
-	if ev.coin(vp.ID, letter, minute, 2) < view.LossFrac[server-1] {
+	if ev.coin(vp.ID, letter, minute, 2) < srvLoss {
 		return atlas.Outcome{Status: atlas.Timeout}
 	}
 
 	// RTT: geography plus queueing, with mild multiplicative jitter.
-	base := ev.cityRTT(vp.City.Code, s.City.Code)
-	rtt := (base + view.ExtraDelayMs[server-1]) * (0.92 + 0.16*ev.coin(vp.ID, letter, minute, 3))
+	base := ev.cityRTTIdx(ev.vpCity[vp.ID], ls.siteCity[site])
+	rtt := (base + srvDelay) * (0.92 + 0.16*ev.coin(vp.ID, letter, minute, 3))
 	return atlas.Outcome{
 		Status:   atlas.OK,
 		Site:     site,
 		Server:   server,
 		RTTms:    rtt,
-		ChaosTXT: ev.txt[letter][site][server],
+		ChaosTXT: ls.txt[site][server],
 	}
 }
 
@@ -762,6 +917,15 @@ func (ev *Evaluator) cityRTT(a, b string) float64 {
 		return 150
 	}
 	return ev.rttMatrix[ia][ib]
+}
+
+// cityRTTIdx is cityRTT over pre-resolved city indices (-1 = unknown), the
+// probe-hot-path form.
+func (ev *Evaluator) cityRTTIdx(a, b int32) float64 {
+	if a < 0 || b < 0 {
+		return 150
+	}
+	return ev.rttMatrix[a][b]
 }
 
 // Measure runs the Atlas campaign against the completed simulation and
@@ -865,7 +1029,11 @@ func (ev *Evaluator) SiteAt(letter byte, asn topo.ASN, minute int) int {
 	if !ok || !ev.ran {
 		return bgpsim.NoSite
 	}
-	return ls.epochAt(minute).Table.SiteOf(asn)
+	ep := ls.epochAt(minute)
+	if ep == nil {
+		return bgpsim.NoSite
+	}
+	return ep.Table.SiteOf(asn)
 }
 
 // TraceAt reconstructs the AS-level forwarding path from an AS toward one
@@ -876,7 +1044,11 @@ func (ev *Evaluator) TraceAt(letter byte, asn topo.ASN, minute int) ([]topo.ASN,
 	if !ok || !ev.ran {
 		return nil, bgpsim.NoSite
 	}
-	return ls.epochAt(minute).Table.Trace(asn, 64)
+	ep := ls.epochAt(minute)
+	if ep == nil {
+		return nil, bgpsim.NoSite
+	}
+	return ep.Table.Trace(asn, 64)
 }
 
 // CityRTTms exposes the baseline city-to-city RTT model used for probe

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/atlas"
+	"github.com/rootevent/anycastddos/internal/bgpsim"
+)
+
+// TestEpochAtGuards covers the misuse paths that used to index out of
+// bounds: a letter with zero epochs and negative minutes, with and without
+// the post-run minute index.
+func TestEpochAtGuards(t *testing.T) {
+	ls := &letterState{}
+	if ep := ls.epochAt(0); ep != nil {
+		t.Errorf("epochAt on zero epochs = %+v, want nil", ep)
+	}
+	if ep := ls.epochAt(-3); ep != nil {
+		t.Errorf("epochAt(-3) on zero epochs = %+v, want nil", ep)
+	}
+
+	ls.epochs = []epoch{{Start: 0}, {Start: 10}, {Start: 10}, {Start: 40}}
+	if ep := ls.epochAt(-1); ep != nil {
+		t.Errorf("epochAt(-1) = %+v, want nil", ep)
+	}
+	// Duplicate Start values (fault transition + router change in the same
+	// minute): the *last* epoch with Start <= minute is in force, and the
+	// indexed fast path must agree with the binary search.
+	want := map[int]int{0: 0, 5: 0, 10: 2, 39: 2, 40: 3, 100: 3}
+	for m, wi := range want {
+		if ep := ls.epochAt(m); ep != &ls.epochs[wi] {
+			t.Errorf("pre-index epochAt(%d) = epoch %+v, want index %d", m, ep, wi)
+		}
+	}
+	ls.buildEpochIndex(60)
+	for m, wi := range want {
+		if ep := ls.epochAt(m); ep != &ls.epochs[wi] {
+			t.Errorf("indexed epochAt(%d) = epoch %+v, want index %d", m, ep, wi)
+		}
+	}
+	if ep := ls.epochAt(-1); ep != nil {
+		t.Errorf("indexed epochAt(-1) = %+v, want nil", ep)
+	}
+}
+
+// TestProbeOutcomeGuards checks that malformed probe requests — negative
+// minutes, unknown letters, a letter that has not produced any routing
+// epoch yet — degrade to Timeout instead of panicking.
+func TestProbeOutcomeGuards(t *testing.T) {
+	ev, err := NewEvaluator(tinyConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := &ev.Population.VPs[0]
+	vp.Hijacked = false
+	if got := ev.ProbeOutcome(vp, 'K', -5); got.Status != atlas.Timeout {
+		t.Errorf("negative minute: status %v, want Timeout", got.Status)
+	}
+	if got := ev.ProbeOutcome(vp, 'Z', 10); got.Status != atlas.Timeout {
+		t.Errorf("unknown letter: status %v, want Timeout", got.Status)
+	}
+	// Before Run, no letter has epochs: the zero-epoch path must be a
+	// Timeout, not an index panic.
+	if got := ev.ProbeOutcome(vp, 'K', 10); got.Status != atlas.Timeout {
+		t.Errorf("zero epochs: status %v, want Timeout", got.Status)
+	}
+	if got := ev.SiteAt('K', vp.ASN, 10); got != bgpsim.NoSite {
+		t.Errorf("SiteAt before Run = %d, want NoSite", got)
+	}
+	if path, site := ev.TraceAt('K', vp.ASN, 10); path != nil || site != bgpsim.NoSite {
+		t.Errorf("TraceAt before Run = (%v, %d), want (nil, NoSite)", path, site)
+	}
+}
+
+// TestPostRunNegativeMinuteGuards exercises the guards on a completed run,
+// where epochs and the minute index exist.
+func TestPostRunNegativeMinuteGuards(t *testing.T) {
+	ev, _ := getShared(t)
+	vp := &ev.Population.VPs[0]
+	if got := ev.ProbeOutcome(vp, 'K', -1); got.Status != atlas.Timeout {
+		t.Errorf("negative minute after Run: status %v, want Timeout", got.Status)
+	}
+	if got := ev.SiteAt('K', vp.ASN, -1); got != bgpsim.NoSite {
+		t.Errorf("SiteAt(-1) = %d, want NoSite", got)
+	}
+	if path, site := ev.TraceAt('K', vp.ASN, -1); path != nil || site != bgpsim.NoSite {
+		t.Errorf("TraceAt(-1) = (%v, %d), want (nil, NoSite)", path, site)
+	}
+}

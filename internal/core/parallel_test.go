@@ -132,10 +132,58 @@ func TestParallelEngineEquivalenceWithFaults(t *testing.T) {
 			t.Errorf("workers %d: faulted .nl series differs", workers)
 		}
 	}
+	// The memoized incremental routing path must be invisible under fault
+	// injection too: disabling the cache (the reference from-scratch
+	// Compute on every epoch) reproduces the faulted run bit-for-bit at
+	// every worker count.
+	for _, workers := range []int{1, 4} {
+		got := fingerprint(t, 1, workers, withFaults, WithRoutingCache(false))
+		if got.datasetHash != base.datasetHash {
+			t.Errorf("workers %d: faulted cache-off dataset differs", workers)
+		}
+		if !reflect.DeepEqual(got.updates, base.updates) {
+			t.Errorf("workers %d: faulted cache-off BGP update stream differs", workers)
+		}
+		if !reflect.DeepEqual(got.rssacK, base.rssacK) {
+			t.Errorf("workers %d: faulted cache-off RSSAC reports differ", workers)
+		}
+	}
 	// The plan must have observable effect — otherwise this test proves
 	// nothing about fault determinism.
 	if base.datasetHash == fingerprint(t, 1, 4).datasetHash {
 		t.Error("heavy fault plan left the dataset unchanged")
+	}
+}
+
+// TestRoutingCacheEquivalence is the byte-identity proof for the routing
+// fast path: the memoized, warm-started incremental computation (the
+// default) must reproduce the reference full-sweep run — dataset, BGP
+// update stream, RSSAC reports, route and collateral series — bit-for-bit,
+// at every worker count.
+func TestRoutingCacheEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full engine runs")
+	}
+	for _, seed := range []int64{1, 42} {
+		ref := fingerprint(t, seed, 1, WithRoutingCache(false))
+		for _, workers := range []int{1, 4} {
+			got := fingerprint(t, seed, workers)
+			if got.datasetHash != ref.datasetHash {
+				t.Errorf("seed %d workers %d: cached dataset differs from reference", seed, workers)
+			}
+			if !reflect.DeepEqual(got.updates, ref.updates) {
+				t.Errorf("seed %d workers %d: cached BGP update stream differs", seed, workers)
+			}
+			if !reflect.DeepEqual(got.rssacK, ref.rssacK) {
+				t.Errorf("seed %d workers %d: cached RSSAC reports differ", seed, workers)
+			}
+			if !reflect.DeepEqual(got.routesK0, ref.routesK0) {
+				t.Errorf("seed %d workers %d: cached route series differs", seed, workers)
+			}
+			if !reflect.DeepEqual(got.nl, ref.nl) {
+				t.Errorf("seed %d workers %d: cached .nl series differs", seed, workers)
+			}
+		}
 	}
 }
 

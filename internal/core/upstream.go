@@ -43,6 +43,9 @@ func (u *Upstream) Query(letter byte, minute int) (bool, float64) {
 		return false, 0
 	}
 	ep := ls.epochAt(minute)
+	if ep == nil {
+		return false, 0
+	}
 	site := ep.Table.SiteOf(u.asn)
 	if site < 0 {
 		return false, 0

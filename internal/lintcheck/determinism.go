@@ -11,7 +11,7 @@ import (
 func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
-		Doc:  "forbid time.Now, global math/rand, unseeded rand.New, and unsorted map-range results",
+		Doc:  "forbid time.Now, global math/rand, unseeded rand.New, unsorted map-range results, and any map-range in pooled-scratch packages",
 		Run:  runDeterminism,
 	}
 }
@@ -29,8 +29,18 @@ func runDeterminism(pass *Pass) {
 	for _, file := range pass.Pkg.Files {
 		rel := pass.RelFile(file.Pos())
 		clockExempt := exempt(rel, pass.Cfg.WallClockAllow)
+		mapIterBanned := exempt(rel, pass.Cfg.MapIterBan)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if mapIterBanned {
+					if tv, ok := info.Types[n.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.Reportf("mapiter", n.Pos(),
+								"map iteration is banned in this package: pooled scratch filled in map order poisons every later consumer; index by dense key instead")
+						}
+					}
+				}
 			case *ast.CallExpr:
 				fn := calleeFunc(info, n)
 				if fn == nil {

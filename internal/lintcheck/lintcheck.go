@@ -24,6 +24,10 @@
 //   - maprange:     ranging over a map and appending to a slice that is then
 //     returned without an intervening sort.* call leaks map-iteration order
 //     into results.
+//   - mapiter:      in packages with pooled, reusable computation scratch
+//     (internal/bgpsim), ranging over a map is banned outright: a reused
+//     buffer filled in map order poisons every later consumer, which the
+//     escape-based maprange rule cannot see.
 //   - errwrap:      fmt.Errorf with an error-typed argument must use %w so
 //     errors.Is/errors.As see through the wrap.
 //   - sentinel:     package-level sentinel error variables must be built with
@@ -69,6 +73,10 @@ type Config struct {
 	// PanicAllow exempts packages from the panic rule. The rule itself only
 	// looks inside internal/.
 	PanicAllow []string
+	// MapIterBan lists packages where ranging over a map is forbidden
+	// entirely (the mapiter rule): pooled scratch state makes the weaker
+	// escape analysis of maprange insufficient there.
+	MapIterBan []string
 }
 
 // DefaultConfig is the repository policy: wall clock is allowed in the
@@ -78,6 +86,10 @@ func DefaultConfig() Config {
 	return Config{
 		WallClockAllow: []string{"internal/dnsserver", "cmd/", "examples/"},
 		PanicAllow:     []string{"internal/stats"},
+		// bgpsim holds the route Computer's reusable scratch buffers; a
+		// map-range there could write iteration order into pooled state
+		// that outlives the function the maprange rule analyzes.
+		MapIterBan: []string{"internal/bgpsim"},
 	}
 }
 

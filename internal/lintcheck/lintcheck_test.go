@@ -103,6 +103,30 @@ func TestFixtureDiagnostics(t *testing.T) {
 	}
 }
 
+// TestMapIterFixture checks the mapiter rule against its fixture with a
+// Config that bans map iteration there (the fixture directory stands in for
+// internal/bgpsim, which DefaultConfig covers — see TestDefaultConfigScopes).
+func TestMapIterFixture(t *testing.T) {
+	const dir = "internal/lintcheck/testdata/mapiter"
+	cfg := DefaultConfig()
+	cfg.MapIterBan = append(cfg.MapIterBan, dir)
+	diags := Run(loadFixture(t, "./"+dir), cfg)
+	want := []key{{"mapiter", dir + "/bad.go", 13}}
+	got := diagKeys(diags)
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(want), diags)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Without the ban the fixture is clean: the rule is scoped, not global.
+	if diags := Run(loadFixture(t, "./"+dir), DefaultConfig()); len(diags) != 0 {
+		t.Errorf("unbanned fixture still produced diagnostics: %v", diags)
+	}
+}
+
 // TestRepolintSelfClean runs the full suite over the whole repository. Every
 // future PR inherits this test, so a change that reintroduces a wall-clock
 // read, an unseeded RNG, or a stray panic fails the build here.
@@ -197,5 +221,11 @@ func TestDefaultConfigScopes(t *testing.T) {
 	}
 	if exempt("internal/geo/geo.go", cfg.PanicAllow) {
 		t.Error("PanicAllow must not cover internal/geo")
+	}
+	if !exempt("internal/bgpsim/computer.go", cfg.MapIterBan) {
+		t.Error("MapIterBan should cover internal/bgpsim (the pooled route scratch)")
+	}
+	if exempt("internal/core/evaluator.go", cfg.MapIterBan) {
+		t.Error("MapIterBan must not cover internal/core")
 	}
 }

@@ -1,0 +1,41 @@
+// Package mapiter is a repolint fixture for the mapiter rule, which bans
+// ranging over maps entirely in packages that hold pooled computation
+// scratch (internal/bgpsim). The fixture is only checked with a Config that
+// lists this directory in MapIterBan; expected diagnostics are asserted,
+// with exact line numbers, in internal/lintcheck/lintcheck_test.go.
+package mapiter
+
+// FillScratch writes into a reused buffer in map-iteration order — the
+// pooled-state leak the escape-based maprange rule cannot see, because the
+// buffer is neither local nor returned.
+func FillScratch(scratch []int, m map[int]int) {
+	i := 0
+	for _, v := range m { // want mapiter (line 13)
+		scratch[i] = v
+		i++
+	}
+}
+
+// Lookup only indexes the map; no diagnostic expected.
+func Lookup(m map[int]int, k int) int {
+	return m[k]
+}
+
+// SliceRange ranges over a slice; no diagnostic expected.
+func SliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// Suppressed documents a justified exception with an allow marker.
+func Suppressed(m map[int]int) int {
+	total := 0
+	//repolint:allow mapiter -- commutative sum; order cannot escape
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -168,6 +168,33 @@ func Servers(site *anycast.Site, st State, cfg Config, eventIndex int) ServerVie
 	return v
 }
 
+// ProbeServer resolves one probe's server selection without materializing a
+// full ServerView: given the server the balancer hashed the probe to, it
+// returns the server that actually handles it (the isolated server under
+// ServersIsolate and overload, otherwise the hashed one) and that server's
+// response behaviour. It is the allocation-free scalar form of Servers for
+// per-probe hot paths; for any (site, state, eventIndex), the returned
+// values equal the corresponding ServerView entries after the caller-side
+// Active redirect.
+func ProbeServer(site *anycast.Site, st State, cfg Config, eventIndex, server int) (srv int, responds bool, lossFrac, extraDelayMs float64) {
+	if st.LossFrac <= 0 {
+		return server, true, 0, st.ExtraDelayMs
+	}
+	switch site.ServerMode {
+	case anycast.ServersIsolate:
+		// All surviving traffic lands on the isolated server (Figure 12);
+		// it answers with near-normal RTT, shielded from the saturated
+		// queue.
+		active := 1 + eventIndex%site.NumServers
+		return active, true, st.LossFrac, clamp(st.ExtraDelayMs*0.1, 0, 120)
+	default: // ServersShared
+		if site.HotServer == server {
+			return server, true, clamp(st.LossFrac*1.5, 0, 0.98), clamp(st.ExtraDelayMs*1.35, 0, cfg.MaxBufferDelayMs*1.2)
+		}
+		return server, true, st.LossFrac, st.ExtraDelayMs
+	}
+}
+
 // Router is the per-site announcement state machine. Sites with the
 // Withdraw policy pull their BGP announcement after sustained overload and
 // try again after a cooldown; Absorb sites stay announced no matter what.

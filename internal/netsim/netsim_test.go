@@ -250,3 +250,60 @@ func TestRouterForceOperations(t *testing.T) {
 		t.Fatal("double ForceAnnounce should be a no-op")
 	}
 }
+
+// TestProbeServerMatchesServers checks the scalar hot-path form against the
+// full ServerView for every mode, overload state, and hashed server choice,
+// including the caller-side redirect to the isolated server.
+func TestProbeServerMatchesServers(t *testing.T) {
+	cfg := DefaultConfig()
+	sites := []*anycast.Site{
+		sharedSite(4, 0),
+		sharedSite(4, 2),
+		isolateSite(3),
+	}
+	states := []State{
+		{LossFrac: 0, ExtraDelayMs: 0},
+		{LossFrac: 0, ExtraDelayMs: 35},
+		{LossFrac: 0.4, ExtraDelayMs: 900},
+		{LossFrac: 0.8, ExtraDelayMs: 1900},
+	}
+	for _, site := range sites {
+		for _, st := range states {
+			for eventIndex := 0; eventIndex <= 2; eventIndex++ {
+				view := Servers(site, st, cfg, eventIndex)
+				for hashed := 1; hashed <= site.NumServers; hashed++ {
+					want := hashed
+					if view.Active > 0 {
+						want = view.Active
+					}
+					srv, responds, loss, delay := ProbeServer(site, st, cfg, eventIndex, hashed)
+					if srv != want {
+						t.Fatalf("%s mode=%v loss=%v ev=%d hashed=%d: server %d, want %d",
+							site.Code, site.ServerMode, st.LossFrac, eventIndex, hashed, srv, want)
+					}
+					if responds != view.Responds[want-1] ||
+						loss != view.LossFrac[want-1] ||
+						delay != view.ExtraDelayMs[want-1] {
+						t.Fatalf("%s mode=%v loss=%v ev=%d hashed=%d: (%v,%v,%v), want (%v,%v,%v)",
+							site.Code, site.ServerMode, st.LossFrac, eventIndex, hashed,
+							responds, loss, delay,
+							view.Responds[want-1], view.LossFrac[want-1], view.ExtraDelayMs[want-1])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProbeServerAllocationFree pins the point of the scalar form.
+func TestProbeServerAllocationFree(t *testing.T) {
+	cfg := DefaultConfig()
+	site := sharedSite(4, 2)
+	st := State{LossFrac: 0.5, ExtraDelayMs: 800}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _, _, _ = ProbeServer(site, st, cfg, 1, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("ProbeServer allocates %.0f objects per call, want 0", allocs)
+	}
+}
