@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build lint test race soak bench bench-workers reproduce
+.PHONY: verify fmt vet build lint test race soak soak-resume bench bench-workers reproduce
 
 # Keep bench going even if tee's upstream pipeline status matters on some
 # shells: the JSON step only runs when the bench run itself succeeded.
@@ -41,6 +41,13 @@ race:
 # prove worker-count independence under faults.
 soak:
 	$(GO) run -race ./cmd/chaossoak -seeds 8
+
+# Kill/resume soak: SIGKILL a checkpointing child rootevent at three seeded
+# epochs, resume each time from the snapshots it left behind, and require
+# the final dataset hash to equal an uninterrupted run's (see README
+# "Crash recovery"). Quick mode used by CI; crank -kills/-minutes to soak.
+soak-resume:
+	$(GO) run ./cmd/chaossoak -mode killresume -kills 3 -seed 7 -minutes 720
 
 # Tracked benchmark baseline: the per-figure benches plus the routing
 # (ComputeFullVsIncremental) and probe (ProbeOutcome) hot-path benches,

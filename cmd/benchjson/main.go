@@ -23,6 +23,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"github.com/rootevent/anycastddos/internal/atomicio"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -82,7 +84,7 @@ func main() {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := atomicio.WriteFileBytes(*out, data); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d benchmarks to %s", len(res.Benchmarks), *out)

@@ -1,28 +1,48 @@
-// Command chaossoak soaks the evaluation engine under randomized fault
-// plans: for each seed it draws a deterministic plan, runs a small but
-// full-pipeline simulation with the faults injected, and checks that the
-// engine finishes cleanly — no panics (worker panics surface as wrapped
-// errors naming the letter and minute) and a measurable dataset at the end.
-// The first few seeds are additionally replayed sequentially to prove the
-// faulted run is worker-count independent.
+// Command chaossoak soaks the evaluation engine under adversarial
+// conditions. It has two modes:
+//
+//	-mode soak (default): for each seed it draws a deterministic fault
+//	plan, runs a small but full-pipeline simulation with the faults
+//	injected, and checks that the engine finishes cleanly — no panics
+//	(worker panics surface as wrapped errors naming the letter and
+//	minute) and a measurable dataset at the end. The first few seeds are
+//	additionally replayed sequentially to prove the faulted run is
+//	worker-count independent.
+//
+//	-mode killresume: builds the rootevent binary, records the golden
+//	dataset hash of an uninterrupted run, then repeatedly SIGKILLs a
+//	checkpointing child at seeded random epochs and resumes it from the
+//	snapshots the kill left behind. The final resumed run's hash must
+//	equal the golden hash — the crash-recovery guarantee, end to end
+//	through real process death. Run it from the repository root.
 //
 // Usage:
 //
-//	chaossoak [-seeds N] [-profile light|heavy|monitor] [-workers N]
-//	          [-minutes N] [-equiv N]
+//	chaossoak [-mode soak|killresume] [-seeds N] [-profile light|heavy|monitor]
+//	          [-workers N] [-minutes N] [-equiv N] [-kills N] [-seed N]
 //
-// Exit status is non-zero when any seed fails.
+// The first failed verification exits non-zero immediately.
 package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
+	"github.com/rootevent/anycastddos/internal/checkpoint"
 	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/faults"
 	"github.com/rootevent/anycastddos/internal/topo"
@@ -31,64 +51,81 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chaossoak: ")
-	seeds := flag.Int("seeds", 8, "number of fault-plan seeds to soak")
-	profileName := flag.String("profile", "heavy", "fault profile: light, heavy, or monitor")
+	mode := flag.String("mode", "soak", "soak (fault-plan survival) or killresume (SIGKILL + checkpoint resume)")
+	seeds := flag.Int("seeds", 8, "soak: number of fault-plan seeds")
+	profileName := flag.String("profile", "heavy", "soak: fault profile: light, heavy, or monitor")
 	workers := flag.Int("workers", 4, "engine worker goroutines")
 	minutes := flag.Int("minutes", 1440, "simulated minutes per run")
-	equiv := flag.Int("equiv", 2, "seeds to replay sequentially for worker-equivalence")
+	equiv := flag.Int("equiv", 2, "soak: seeds to replay sequentially for worker-equivalence")
+	kills := flag.Int("kills", 3, "killresume: SIGKILL cycles before the final resume")
+	seed := flag.Int64("seed", 7, "killresume: seed for the run and the kill schedule")
 	flag.Parse()
 
-	profile, err := faults.ProfileByName(*profileName)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Interrupts cancel the in-flight engine run or child process instead
+	// of leaving it orphaned.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	failures := 0
-	for seed := int64(1); seed <= int64(*seeds); seed++ {
+	switch *mode {
+	case "soak":
+		if err := soak(ctx, *seeds, *profileName, *workers, *minutes, *equiv); err != nil {
+			log.Fatal(err)
+		}
+	case "killresume":
+		if err := killResume(ctx, *seed, *kills, *minutes, *workers); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("killresume ok: %d kill cycles, resumed hash matches golden (seed %d)", *kills, *seed)
+	default:
+		log.Fatalf("unknown -mode %q (soak or killresume)", *mode)
+	}
+}
+
+// soak runs the fault-plan survival matrix, failing fast on the first
+// seed that panics, errors, or breaks worker-count equivalence.
+func soak(ctx context.Context, seeds int, profileName string, workers, minutes, equiv int) error {
+	profile, err := faults.ProfileByName(profileName)
+	if err != nil {
+		return err
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("soak canceled at seed %d: %w", seed, err)
+		}
 		plan := faults.RandomPlan(seed, profile)
 		start := time.Now()
-		hash, err := soakRun(plan, seed, *minutes, *workers)
+		hash, err := soakRun(ctx, plan, seed, minutes, workers)
 		if err != nil {
-			failures++
-			log.Printf("seed %d FAIL (%v): %v", seed, time.Since(start).Round(time.Millisecond), err)
-			continue
+			return fmt.Errorf("seed %d (%v): %w", seed, time.Since(start).Round(time.Millisecond), err)
 		}
 		status := fmt.Sprintf("seed %d ok   (%v, %d fault events, hash %x)",
 			seed, time.Since(start).Round(time.Millisecond), len(plan.Events), hash[:4])
-		if seed <= int64(*equiv) && *workers != 1 {
-			seqHash, err := soakRun(plan, seed, *minutes, 1)
-			switch {
-			case err != nil:
-				failures++
-				log.Printf("seed %d FAIL: sequential replay: %v", seed, err)
-				continue
-			case seqHash != hash:
-				failures++
-				log.Printf("seed %d FAIL: workers=%d hash %x != workers=1 hash %x",
-					seed, *workers, hash[:4], seqHash[:4])
-				continue
-			default:
-				status += " equiv-ok"
+		if seed <= int64(equiv) && workers != 1 {
+			seqHash, err := soakRun(ctx, plan, seed, minutes, 1)
+			if err != nil {
+				return fmt.Errorf("seed %d sequential replay: %w", seed, err)
 			}
+			if seqHash != hash {
+				return fmt.Errorf("seed %d: workers=%d hash %x != workers=1 hash %x",
+					seed, workers, hash[:4], seqHash[:4])
+			}
+			status += " equiv-ok"
 		}
 		log.Print(status)
 	}
-	if failures > 0 {
-		log.Printf("%d/%d seeds failed", failures, *seeds)
-		os.Exit(1)
-	}
-	log.Printf("all %d seeds survived (%s profile, %d workers)", *seeds, *profileName, *workers)
+	log.Printf("all %d seeds survived (%s profile, %d workers)", seeds, profileName, workers)
+	return nil
 }
 
 // soakRun executes one faulted simulation and returns the dataset hash.
-func soakRun(plan *faults.Plan, seed int64, minutes, workers int) ([32]byte, error) {
+func soakRun(ctx context.Context, plan *faults.Plan, seed int64, minutes, workers int) ([32]byte, error) {
 	var zero [32]byte
 	cfg := core.DefaultConfig(seed)
 	cfg.Topology = &topo.Config{Tier1s: 5, Tier2s: 40, Stubs: 400, Seed: seed}
 	cfg.VPs = 150
 	cfg.BotnetOrigins = 25
 	cfg.Minutes = minutes
-	ev, err := core.NewEvaluator(cfg, core.WithWorkers(workers), core.WithFaults(plan))
+	ev, err := core.NewEvaluator(cfg, core.WithWorkers(workers), core.WithFaults(plan), core.WithContext(ctx))
 	if err != nil {
 		return zero, err
 	}
@@ -104,4 +141,157 @@ func soakRun(plan *faults.Plan, seed int64, minutes, workers int) ([32]byte, err
 		return zero, err
 	}
 	return sha256.Sum256(buf.Bytes()), nil
+}
+
+// killResume proves crash recovery through real process death: golden
+// uninterrupted child, then `kills` SIGKILL-at-a-seeded-epoch cycles
+// resuming from checkpoints, then a final resume to completion whose
+// dataset hash must equal the golden one.
+func killResume(ctx context.Context, seed int64, kills, minutes, workers int) error {
+	if minutes < 40 {
+		return fmt.Errorf("killresume needs -minutes >= 40 to fit kill points, got %d", minutes)
+	}
+	work, err := os.MkdirTemp("", "chaossoak-killresume-*")
+	if err != nil {
+		return fmt.Errorf("workdir: %w", err)
+	}
+	defer os.RemoveAll(work)
+
+	bin := filepath.Join(work, "rootevent")
+	log.Printf("building rootevent...")
+	if out, err := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/rootevent").CombinedOutput(); err != nil {
+		return fmt.Errorf("build rootevent (run from the repo root): %w\n%s", err, out)
+	}
+
+	common := []string{
+		"-small",
+		"-seed", strconv.FormatInt(seed, 10),
+		"-minutes", strconv.Itoa(minutes),
+		"-workers", strconv.Itoa(workers),
+		"-only", "none",
+	}
+	goldenHash := filepath.Join(work, "golden.hash")
+	log.Printf("golden uninterrupted run (seed %d, %d minutes)...", seed, minutes)
+	if err := runChild(ctx, bin, append(common,
+		"-out", filepath.Join(work, "out-golden"), "-hashfile", goldenHash)); err != nil {
+		return fmt.Errorf("golden run: %w", err)
+	}
+
+	ckptDir := filepath.Join(work, "ckpt")
+	for k, target := range killTargets(seed, kills, minutes) {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("killresume canceled before cycle %d: %w", k, err)
+		}
+		args := append(common,
+			"-out", filepath.Join(work, fmt.Sprintf("out-kill%d", k)),
+			"-checkpoint", ckptDir, "-resume")
+		completed, err := killCycle(ctx, bin, args, ckptDir, target)
+		if err != nil {
+			return fmt.Errorf("kill cycle %d: %w", k, err)
+		}
+		if completed {
+			log.Printf("cycle %d: child completed before the minute-%d kill point", k, target)
+			continue
+		}
+		m, err := checkpoint.LatestMinute(ckptDir)
+		if err != nil {
+			return fmt.Errorf("kill cycle %d left no readable checkpoint: %w", k, err)
+		}
+		log.Printf("cycle %d: SIGKILLed child past minute %d (newest snapshot: minute %d)", k, target, m)
+	}
+
+	resumedHash := filepath.Join(work, "resumed.hash")
+	log.Printf("final resume to completion...")
+	if err := runChild(ctx, bin, append(common,
+		"-out", filepath.Join(work, "out-final"),
+		"-checkpoint", ckptDir, "-resume", "-hashfile", resumedHash)); err != nil {
+		return fmt.Errorf("final resume: %w", err)
+	}
+
+	golden, err := os.ReadFile(goldenHash)
+	if err != nil {
+		return fmt.Errorf("read golden hash: %w", err)
+	}
+	resumed, err := os.ReadFile(resumedHash)
+	if err != nil {
+		return fmt.Errorf("read resumed hash: %w", err)
+	}
+	if !bytes.Equal(golden, resumed) {
+		return fmt.Errorf("resumed dataset hash %s != golden %s",
+			strings.TrimSpace(string(resumed)), strings.TrimSpace(string(golden)))
+	}
+	return nil
+}
+
+// runChild runs one rootevent invocation to completion, folding its
+// combined output into the wrapped error on failure.
+func runChild(ctx context.Context, bin string, args []string) error {
+	cmd := exec.CommandContext(ctx, bin, args...)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("%s %s: %w\n%s", filepath.Base(bin), strings.Join(args, " "), err, out.Bytes())
+	}
+	return nil
+}
+
+// killTargets draws an increasing seeded schedule of kill minutes, each a
+// checkpoint-stride multiple, so every cycle advances past new snapshots.
+func killTargets(seed int64, kills, minutes int) []int {
+	const stride = 10
+	rng := rand.New(rand.NewSource(seed))
+	span := minutes - 2*stride // keep clear of the end so kills interrupt
+	targets := make([]int, kills)
+	lo := stride
+	for k := range targets {
+		hi := span - (kills-1-k)*stride
+		t := lo
+		if hi > lo {
+			t = lo + rng.Intn((hi-lo)/stride+1)*stride
+		}
+		targets[k] = t
+		lo = t + stride
+	}
+	return targets
+}
+
+// killCycle starts one checkpointing child and SIGKILLs it once its
+// newest durable snapshot reaches the target minute. completed reports
+// that the child finished the whole run before the kill fired.
+func killCycle(ctx context.Context, bin string, args []string, ckptDir string, target int) (completed bool, err error) {
+	cmd := exec.CommandContext(ctx, bin, args...)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		return false, fmt.Errorf("start child: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			<-done // CommandContext already killed the child
+			return false, fmt.Errorf("canceled waiting for minute %d: %w", target, ctx.Err())
+		case werr := <-done:
+			if werr != nil {
+				return false, fmt.Errorf("child died before the kill at minute %d: %w\n%s", target, werr, out.Bytes())
+			}
+			return true, nil
+		case <-ticker.C:
+			m, lerr := checkpoint.LatestMinute(ckptDir)
+			if lerr != nil || m < target {
+				continue // no snapshot yet, or not far enough
+			}
+			kerr := cmd.Process.Kill()
+			werr := <-done
+			if kerr != nil && !errors.Is(kerr, os.ErrProcessDone) {
+				return false, fmt.Errorf("SIGKILL child: %w", kerr)
+			}
+			// werr is the expected "signal: killed" — or nil when the child
+			// won the race and completed first.
+			return werr == nil, nil
+		}
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/rootevent/anycastddos/internal/atomicio"
 	"github.com/rootevent/anycastddos/internal/dnsserver"
 	"github.com/rootevent/anycastddos/internal/dnswire"
 	"github.com/rootevent/anycastddos/internal/report"
@@ -42,7 +43,9 @@ func main() {
 	flag.Parse()
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		// The profile streams for the lifetime of the run; a temp+rename
+		// write cannot express that, and a torn profile is harmless.
+		f, err := os.Create(*cpuProfile) //repolint:allow atomicwrite
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -176,18 +179,8 @@ func writeHeapProfile(path string) {
 	if path == "" {
 		return
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		log.Printf("memprofile: %v", err)
-		return
-	}
 	runtime.GC() // materialize up-to-date allocation statistics
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		f.Close()
-		log.Printf("memprofile: %v", err)
-		return
-	}
-	if err := f.Close(); err != nil {
+	if err := atomicio.WriteFile(path, pprof.WriteHeapProfile); err != nil {
 		log.Printf("memprofile: %v", err)
 	}
 }

@@ -4,14 +4,30 @@
 // Usage:
 //
 //	rootevent [-seed N] [-vps N] [-small] [-workers N] [-out DIR] [-only EXPR]
-//	          [-faults random:SEED[:PROFILE]]
+//	          [-faults random:SEED[:PROFILE]] [-minutes N]
+//	          [-checkpoint DIR [-checkpoint-every N] [-resume | -supervise]]
+//	          [-hashfile PATH]
 //
 // Results are written under -out (default ./out): one .txt rendering and,
 // where applicable, one .csv series file per experiment. -only restricts
-// output to a comma-separated list like "table2,fig3,fig11".
+// output to a comma-separated list like "table2,fig3,fig11". All output
+// files are written atomically (temp + fsync + rename), so a killed run
+// never leaves torn results behind.
+//
+// With -checkpoint the engine snapshots its state every -checkpoint-every
+// minutes; -resume restarts from the newest good snapshot (or from scratch
+// when none is usable), and -supervise additionally runs the whole
+// simulation under a watchdog that restarts from the last checkpoint after
+// stalls and recovered panics, writing out/recovery.json. Either way the
+// final output is byte-identical to an uninterrupted run.
 package main
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +42,7 @@ import (
 
 	"github.com/rootevent/anycastddos/internal/analysis"
 	"github.com/rootevent/anycastddos/internal/atlas"
+	"github.com/rootevent/anycastddos/internal/atomicio"
 	"github.com/rootevent/anycastddos/internal/attack"
 	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/faults"
@@ -51,10 +68,18 @@ func main() {
 	verbose := flag.Bool("progress", false, "log simulation/measurement progress")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file before exiting")
+	minutesFlag := flag.Int("minutes", 0, "override the simulated minutes (0 = schedule default)")
+	ckptDir := flag.String("checkpoint", "", "snapshot engine state into this directory for crash recovery")
+	ckptEvery := flag.Int("checkpoint-every", 10, "minutes between checkpoints (with -checkpoint)")
+	resume := flag.Bool("resume", false, "resume from the newest good snapshot in -checkpoint (falls back to a fresh run)")
+	supervise := flag.Bool("supervise", false, "run under the crash supervisor: watchdog plus bounded restarts from -checkpoint")
+	hashFile := flag.String("hashfile", "", "write the hex SHA-256 of the cleaned dataset to this file")
 	flag.Parse()
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		// The profile streams for the lifetime of the run; a temp+rename
+		// write cannot express that, and a torn profile is harmless.
+		f, err := os.Create(*cpuProfile) //repolint:allow atomicwrite
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,6 +95,9 @@ func main() {
 	if *small {
 		cfg.Topology = &topo.Config{Tier1s: 6, Tier2s: 60, Stubs: 800, Seed: *seed}
 		cfg.VPs = 600
+	}
+	if *minutesFlag > 0 {
+		cfg.Minutes = *minutesFlag
 	}
 	opts := []core.Option{core.WithWorkers(*workers)}
 	switch *scheduleName {
@@ -114,15 +142,49 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if (*resume || *supervise) && *ckptDir == "" {
+		log.Fatal("-resume and -supervise require -checkpoint DIR")
+	}
+	if *ckptDir != "" && !*supervise {
+		// The supervisor appends its own checkpoint option per attempt.
+		opts = append(opts, core.WithCheckpoint(*ckptDir, *ckptEvery))
+	}
+
 	start := time.Now()
 	log.Printf("building evaluator (seed %d, %d VPs)...", *seed, cfg.VPs)
-	ev, err := core.NewEvaluator(cfg, opts...)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("simulating the two event days...")
-	if err := ev.Run(); err != nil {
-		log.Fatal(err)
+	var ev *core.Evaluator
+	var err error
+	switch {
+	case *supervise:
+		log.Printf("simulating the two event days (supervised)...")
+		var rep *core.RecoveryReport
+		ev, rep, err = core.Supervise(context.Background(), cfg, core.SupervisorConfig{
+			Dir:    *ckptDir,
+			EveryN: *ckptEvery,
+			Seed:   *seed,
+			Logf:   log.Printf,
+		}, opts...)
+		if werr := writeRecoveryReport(filepath.Join(*outDir, "recovery.json"), rep); werr != nil {
+			log.Printf("recovery report: %v", werr)
+		} else {
+			log.Printf("wrote %s", filepath.Join(*outDir, "recovery.json"))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *resume:
+		log.Printf("simulating the two event days (resuming from %s)...", *ckptDir)
+		if ev, err = core.ResumeRun(*ckptDir, cfg, opts...); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		if ev, err = core.NewEvaluator(cfg, opts...); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("simulating the two event days...")
+		if err := ev.Run(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	log.Printf("running the Atlas measurement campaign...")
 	d, err := ev.Measure()
@@ -132,16 +194,20 @@ func main() {
 	log.Printf("simulation + measurement done in %v (%d VPs kept, %d excluded)",
 		time.Since(start).Round(time.Millisecond), d.NumVPs-d.NumExcluded(), d.NumExcluded())
 
+	if *hashFile != "" {
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			log.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		if err := atomicio.WriteFileBytes(*hashFile, []byte(hex.EncodeToString(sum[:])+"\n")); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("dataset hash %x -> %s", sum[:4], *hashFile)
+	}
+
 	if *saveData != "" {
-		f, err := os.Create(*saveData)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := d.Save(f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicio.WriteFile(*saveData, d.Save); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("archived dataset to %s", *saveData)
@@ -152,16 +218,13 @@ func main() {
 			return
 		}
 		path := filepath.Join(*outDir, key+".txt")
-		f, err := os.Create(path)
+		err := atomicio.WriteFile(path, func(w io.Writer) error {
+			fmt.Fprintf(w, "# %s\n# seed=%d vps=%d\n\n", desc, *seed, cfg.VPs)
+			return fn(w)
+		})
 		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(f, "# %s\n# seed=%d vps=%d\n\n", desc, *seed, cfg.VPs)
-		if err := fn(f); err != nil {
-			f.Close()
 			log.Fatalf("%s: %v", key, err)
 		}
-		f.Close()
 		log.Printf("wrote %s (%s)", path, desc)
 	}
 	writeCSV := func(key string, series ...*stats.Series) {
@@ -169,15 +232,12 @@ func main() {
 			return
 		}
 		path := filepath.Join(*outDir, key+".csv")
-		f, err := os.Create(path)
+		err := atomicio.WriteFile(path, func(w io.Writer) error {
+			return report.WriteSeriesCSV(w, series...)
+		})
 		if err != nil {
-			log.Fatal(err)
-		}
-		if err := report.WriteSeriesCSV(f, series...); err != nil {
-			f.Close()
 			log.Fatalf("%s: %v", key, err)
 		}
-		f.Close()
 	}
 
 	letterSeriesCSV := func(m map[byte]*stats.Series) []*stats.Series {
@@ -438,15 +498,10 @@ func main() {
 			}
 			for _, rep := range ev.RSSACReports(l.Letter) {
 				name := fmt.Sprintf("%c-%s.yaml", l.Letter+32, rep.DayString())
-				f, err := os.Create(filepath.Join(dir, name))
+				err := atomicio.WriteFile(filepath.Join(dir, name), func(w io.Writer) error {
+					return rssac.WriteReport(w, rep)
+				})
 				if err != nil {
-					return err
-				}
-				if err := rssac.WriteReport(f, rep); err != nil {
-					f.Close()
-					return err
-				}
-				if err := f.Close(); err != nil {
 					return err
 				}
 				fmt.Fprintf(w, "wrote rssac/%s (%.3g queries)\n", name, rep.Queries)
@@ -484,22 +539,22 @@ func writeHeapProfile(path string) {
 	if path == "" {
 		return
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		log.Printf("memprofile: %v", err)
-		return
-	}
 	runtime.GC() // materialize up-to-date allocation statistics
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		f.Close()
-		log.Printf("memprofile: %v", err)
-		return
-	}
-	if err := f.Close(); err != nil {
+	if err := atomicio.WriteFile(path, pprof.WriteHeapProfile); err != nil {
 		log.Printf("memprofile: %v", err)
 		return
 	}
 	log.Printf("wrote heap profile to %s", path)
+}
+
+// writeRecoveryReport renders the supervisor's report as indented JSON,
+// written atomically so a crash while reporting a crash stays readable.
+func writeRecoveryReport(path string, rep *core.RecoveryReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal recovery report: %w", err)
+	}
+	return atomicio.WriteFileBytes(path, append(data, '\n'))
 }
 
 // parseFaultsSpec parses the -faults flag value "random:SEED[:PROFILE]"

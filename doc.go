@@ -31,13 +31,28 @@
 // progress with core.WithProgress. BenchmarkParallelSmallWorkers and
 // BenchmarkNov30EventWorkers chart the scaling.
 //
+// # Crash recovery
+//
+// Long replays are kill-safe. core.WithCheckpoint(dir, everyN) snapshots
+// engine state at epoch boundaries into versioned, content-hashed files
+// written atomically (internal/checkpoint + internal/atomicio), and
+// core.ResumeRun restores the newest good snapshot — falling back to the
+// previous generation on a torn write, or to a fresh run on an empty
+// directory — with output byte-identical to an uninterrupted run at any
+// worker count, under any fault plan. core.Supervise adds a watchdog that
+// turns stalled workers and recovered panics into bounded restarts from
+// the last checkpoint and emits a structured RecoveryReport; rootevent
+// exposes it as -checkpoint/-resume/-supervise, and `make soak-resume`
+// proves the guarantee through real SIGKILLs (chaossoak -mode killresume).
+//
 // # Determinism invariants
 //
 // Reproducibility is enforced mechanically, not by convention: cmd/repolint
 // (rule engine in internal/lintcheck, stdlib-only) fails the build on
 // wall-clock reads in the simulation plane, global or unseeded math/rand
 // use, map-iteration order escaping into results, fmt.Errorf that drops an
-// error without %w, panics in internal/ packages, and context or mutex
-// misuse. It runs inside `make verify` and again as TestRepolintSelfClean
+// error without %w, panics in internal/ packages, context or mutex
+// misuse, and non-atomic output writes in the command harnesses. It runs
+// inside `make verify` and again as TestRepolintSelfClean
 // in the ordinary test suite.
 package anycastddos

@@ -1,0 +1,72 @@
+// Package atomicio provides crash-safe file writes: a file written through
+// this package is either the complete new content or absent/unchanged —
+// never a truncated half-write. An interrupted reproduction run (crash,
+// OOM-kill, SIGKILL mid-event) must not leave torn CSV/JSON in out/ or a
+// torn snapshot in a checkpoint directory, so every whole-file write in the
+// repository goes through WriteFile (the repolint `atomicwrite` rule
+// enforces this for the command-line harnesses).
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes path atomically: the content is produced into a
+// temporary file in the same directory, fsynced, and renamed over path;
+// the containing directory is then fsynced so the rename itself survives a
+// crash. On any error the temporary file is removed and path is left
+// untouched (either absent or holding its previous content).
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	if err = syncDir(dir); err != nil {
+		return fmt.Errorf("atomicio: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for content already materialized in memory.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

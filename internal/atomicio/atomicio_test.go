@@ -1,0 +1,104 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "a,b\n1,2\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a,b\n1,2\n" {
+		t.Errorf("content = %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Errorf("directory holds %v, want only out.csv (no temp residue)", names)
+	}
+}
+
+func TestWriteFileOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	for _, content := range []string{"first", "second"} {
+		if err := WriteFileBytes(path, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "second" {
+		t.Errorf("content = %q, want second", got)
+	}
+}
+
+// TestWriteFileCallbackError is the torn-write guarantee: a failing
+// producer must leave neither the target file nor temp residue behind.
+func TestWriteFileCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	boom := errors.New("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Errorf("target file exists after failed write")
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Errorf("temp residue after failed write: %v", names)
+	}
+}
+
+// TestWriteFileErrorKeepsPrevious: a failed rewrite must leave the old
+// content intact, not truncate it.
+func TestWriteFileErrorKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := WriteFileBytes(path, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error { return errors.New("no") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "good" {
+		t.Errorf("previous content clobbered: %q", got)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}

@@ -103,6 +103,13 @@ func (c *Collector) Observe(minute int, letter byte, changes []bgpsim.Change) in
 // Updates returns all recorded updates in arrival order.
 func (c *Collector) Updates() []Update { return c.updates }
 
+// RestoreUpdates replaces the collector's recorded update stream, used when
+// resuming a run from a checkpoint (the diff stream the updates were
+// derived from is not retained, so the stream itself is snapshotted).
+func (c *Collector) RestoreUpdates(updates []Update) {
+	c.updates = append(c.updates[:0:0], updates...)
+}
+
 // UpdateSeries bins the collector's updates for one letter into a
 // stats.Series of the given shape — the raw material of Figure 9.
 func (c *Collector) UpdateSeries(letter byte, startMinute, binMinutes, bins int) *stats.Series {

@@ -1,0 +1,190 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/rootevent/anycastddos/internal/atomicio"
+)
+
+// manifestName is the per-directory index of snapshots. The manifest is an
+// optimization and a second checksum layer, not a single point of failure:
+// LoadLatest falls back to scanning *.ckpt files (which self-validate via
+// their trailer) when the manifest is missing or torn.
+const manifestName = "manifest.json"
+
+// keepSnapshots is how many recent snapshots Write retains. More than one,
+// so a snapshot torn by a crash-during-rename still leaves a previous good
+// generation to fall back to.
+const keepSnapshots = 3
+
+// Manifest indexes the snapshots in a checkpoint directory, newest last.
+type Manifest struct {
+	Version int             `json:"version"`
+	Entries []ManifestEntry `json:"entries"`
+}
+
+// ManifestEntry describes one snapshot file with an independent checksum,
+// so a torn snapshot is detected even if its own trailer happens to parse.
+type ManifestEntry struct {
+	File   string `json:"file"`
+	Minute int    `json:"minute"`
+	SHA256 string `json:"sha256"`
+	Size   int    `json:"size"`
+}
+
+func snapName(minute int) string { return fmt.Sprintf("snap-%06d.ckpt", minute) }
+
+// Write persists a snapshot crash-safely: the snapshot file and then the
+// manifest are each written temp+fsync+rename, and only after the manifest
+// commits are superseded snapshots pruned. A crash at any point leaves the
+// directory loadable.
+func Write(dir string, s *Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: create dir %s: %w", dir, err)
+	}
+	data := Encode(s)
+	file := snapName(s.Minute)
+	if err := atomicio.WriteFileBytes(filepath.Join(dir, file), data); err != nil {
+		return fmt.Errorf("checkpoint: write snapshot minute %d: %w", s.Minute, err)
+	}
+	sum := sha256.Sum256(data)
+	m, err := readManifest(dir)
+	if err != nil {
+		// A torn or missing manifest is recoverable: rebuild it around the
+		// snapshot we just wrote.
+		m = &Manifest{Version: Version}
+	}
+	entries := m.Entries[:0:0]
+	for _, e := range m.Entries {
+		if e.Minute != s.Minute {
+			entries = append(entries, e)
+		}
+	}
+	entries = append(entries, ManifestEntry{
+		File:   file,
+		Minute: s.Minute,
+		SHA256: hex.EncodeToString(sum[:]),
+		Size:   len(data),
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Minute < entries[j].Minute })
+	var pruned []string
+	if len(entries) > keepSnapshots {
+		for _, e := range entries[:len(entries)-keepSnapshots] {
+			pruned = append(pruned, e.File)
+		}
+		entries = entries[len(entries)-keepSnapshots:]
+	}
+	m.Version = Version
+	m.Entries = entries
+	if err := writeManifest(dir, m); err != nil {
+		return err
+	}
+	for _, f := range pruned {
+		// Best-effort: a leftover snapshot file is harmless (it is no
+		// longer referenced and directory-scan fallback prefers newer).
+		os.Remove(filepath.Join(dir, f))
+	}
+	return nil
+}
+
+func readManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("checkpoint: parse manifest: %w", err)
+	}
+	return &m, nil
+}
+
+func writeManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := atomicio.WriteFileBytes(filepath.Join(dir, manifestName), data); err != nil {
+		return fmt.Errorf("checkpoint: write manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadLatest returns the newest snapshot that decodes and checksums clean,
+// falling back generation by generation: manifest entries newest-first
+// (verifying each file against the manifest checksum), then — if the
+// manifest itself is unusable — a directory scan of *.ckpt files whose
+// self-validating trailers stand alone. Returns ErrNoSnapshot when nothing
+// in the directory is usable.
+func LoadLatest(dir string) (*Snapshot, error) {
+	m, merr := readManifest(dir)
+	if merr == nil {
+		for i := len(m.Entries) - 1; i >= 0; i-- {
+			e := m.Entries[i]
+			s, err := loadVerified(filepath.Join(dir, e.File), e.SHA256)
+			if err == nil {
+				return s, nil
+			}
+		}
+	}
+	// Manifest unusable (or every entry bad): scan the directory. Snapshot
+	// files self-validate, so newest-good wins.
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.ckpt"))
+	if err == nil {
+		sort.Sort(sort.Reverse(sort.StringSlice(names)))
+		for _, name := range names {
+			s, err := loadVerified(name, "")
+			if err == nil {
+				return s, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+}
+
+// loadVerified reads and decodes one snapshot file, additionally checking
+// it against wantSHA (hex) when non-empty.
+func loadVerified(path, wantSHA string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	if wantSHA != "" {
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != wantSHA {
+			return nil, fmt.Errorf("%w: %s does not match manifest checksum", ErrCorrupt, path)
+		}
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: decode %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LatestMinute reports the newest snapshot minute recorded in the
+// directory's manifest without decoding any snapshot. It is the cheap poll
+// used by external supervisors (chaossoak's kill scheduler) to watch
+// checkpoint progress; it returns ErrNoSnapshot when no manifest entry
+// exists yet.
+func LatestMinute(dir string) (int, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+		}
+		return 0, err
+	}
+	if len(m.Entries) == 0 {
+		return 0, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+	}
+	return m.Entries[len(m.Entries)-1].Minute, nil
+}

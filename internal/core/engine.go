@@ -101,6 +101,16 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 		return fmt.Errorf("core: evaluator already ran")
 	}
 	ev.ran = true
+	return ev.runFrom(ctx, 0)
+}
+
+// runFrom executes the minute loop from a starting minute: 0 for a fresh
+// run, or a checkpoint's resume minute with all mutable state already
+// restored (ResumeRun). Per-minute series before start must hold their
+// final values and the routing-epoch history must already be replayed;
+// runFrom itself is the shared tail of both paths, so a resumed run
+// executes the exact instruction sequence of the uninterrupted one.
+func (ev *Evaluator) runFrom(ctx context.Context, start int) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -118,21 +128,23 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 		workers = 1
 	}
 
-	// Initial routing epochs; no collector observations (nothing to diff
-	// against yet), so order across letters does not matter. The fault
-	// overlay must be in place before the first epoch so minute-0 faults
-	// shape the initial catchments.
-	initErrs := make([]error, len(states))
-	ev.forEachLetter(workers, states, func(ls *letterState) {
-		initErrs[ls.index] = ev.guard(ls, 0, func() error {
-			ev.applyFaultOverlay(ls, 0)
-			ev.computeEpoch(ls, 0)
-			return nil
+	if start == 0 {
+		// Initial routing epochs; no collector observations (nothing to diff
+		// against yet), so order across letters does not matter. The fault
+		// overlay must be in place before the first epoch so minute-0 faults
+		// shape the initial catchments.
+		initErrs := make([]error, len(states))
+		ev.forEachLetter(workers, states, func(ls *letterState) {
+			initErrs[ls.index] = ev.guard(ls, 0, func() error {
+				ev.applyFaultOverlay(ls, 0)
+				ev.computeEpoch(ls, 0)
+				return nil
+			})
 		})
-	})
-	for _, err := range initErrs {
-		if err != nil {
-			return err
+		for _, err := range initErrs {
+			if err != nil {
+				return err
+			}
 		}
 	}
 
@@ -141,7 +153,7 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 
 	// Pre-event retry load is zero; during events, legitimate queries
 	// that fail at attacked letters are retried at the others (§3.2.2).
-	for minute := 0; minute < ev.Cfg.Minutes; minute++ {
+	for minute := start; minute < ev.Cfg.Minutes; minute++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: run canceled at minute %d: %w", minute, err)
 		}
@@ -155,6 +167,12 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 			tick.err = ev.guard(ls, minute, func() error {
 				return ev.stepLetter(ls, minute, evIdx, events, tick)
 			})
+			if hb := ev.opts.heartbeat; hb != nil {
+				// Liveness signal for the supervisor's watchdog, emitted
+				// from the worker goroutine so a wedged letter step is
+				// visible as a missing beat.
+				hb(ls.letter.Letter, minute)
+			}
 		})
 
 		// Barrier: merge cross-letter state in letter order, replaying the
@@ -220,6 +238,17 @@ func (ev *Evaluator) RunContext(ctx context.Context) error {
 				ev.RSSAC.RecordGap(lb, minute)
 			} else {
 				ev.RSSAC.Record(lb, rec)
+			}
+		}
+
+		// Checkpoint before the progress callback: a caller canceling from
+		// inside progress at minute m+1 is then guaranteed the snapshot for
+		// m+1 is already durable, and a canceled run writes nothing after
+		// the cancel (the next action is the loop-top context check).
+		if dir := ev.opts.checkpointDir; dir != "" &&
+			(minute+1)%ev.opts.checkpointEvery == 0 && minute+1 < ev.Cfg.Minutes {
+			if err := ev.writeCheckpoint(dir, minute+1, states); err != nil {
+				return err
 			}
 		}
 

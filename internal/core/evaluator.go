@@ -126,6 +126,11 @@ type epoch struct {
 	Table      *bgpsim.Table
 	LegitFrac  []float64 // per site: share of the letter's legitimate load
 	AttackFrac []float64 // per site: share of the letter's attack load
+	// act is the effective announcement vector the table was computed
+	// from, captured only when checkpointing is enabled: snapshots store
+	// epochs as (Start, act) and resume replays the vectors through the
+	// (pure) route computation instead of serializing tables.
+	act []bool
 }
 
 // originState is one BGP announcement (site uplink) and its state machine.
@@ -582,21 +587,13 @@ func (ev *Evaluator) buildLetterStates() {
 // diff stream derived from it — is unchanged by the caching.
 func (ev *Evaluator) computeEpoch(ls *letterState, minute int) {
 	act := ls.effective()
-	var ent *routeEntry
-	if ev.opts.routingCache {
-		ls.keyBuf = packActiveKey(ls.keyBuf[:0], act)
-		if hit, ok := ls.tableCache[string(ls.keyBuf)]; ok {
-			ent = hit
-		} else {
-			ent = ev.newRouteEntry(ls, ls.comp.Compute(ls.origins, act))
-			ls.tableCache[string(ls.keyBuf)] = ent
-		}
-	} else {
-		// Ablation path (WithRoutingCache(false)): the reference full-sweep
-		// computation, exactly as the pre-incremental engine ran it.
-		ent = ev.newRouteEntry(ls, bgpsim.Compute(ev.Graph, ls.origins, act))
-	}
+	ent := ev.routeEntryFor(ls, act)
 	ep := epoch{Start: minute, Table: ent.table, LegitFrac: ent.legitFrac, AttackFrac: ent.attackFrac}
+	if ev.opts.checkpointDir != "" {
+		// act aliases ls.active/effActive, which mutate in place; epochs
+		// destined for snapshots need their own copy of the vector.
+		ep.act = append([]bool(nil), act...)
+	}
 	if len(ls.epochs) > 0 {
 		prev := ls.epochs[len(ls.epochs)-1]
 		// Append rather than overwrite: a fault transition and a router
@@ -605,6 +602,26 @@ func (ev *Evaluator) computeEpoch(ls *letterState, minute int) {
 		ls.pending = bgpsim.AppendDiff(ls.pending, prev.Table, ent.table)
 	}
 	ls.epochs = append(ls.epochs, ep)
+}
+
+// routeEntryFor resolves the routing result for an effective announcement
+// vector — memoized table cache with incremental warm-started computation,
+// or the reference full sweep under the WithRoutingCache(false) ablation.
+// Shared by computeEpoch and by checkpoint restore's epoch replay, so a
+// resumed run rebuilds the identical cache contents and computer state.
+func (ev *Evaluator) routeEntryFor(ls *letterState, act []bool) *routeEntry {
+	if ev.opts.routingCache {
+		ls.keyBuf = packActiveKey(ls.keyBuf[:0], act)
+		if hit, ok := ls.tableCache[string(ls.keyBuf)]; ok {
+			return hit
+		}
+		ent := ev.newRouteEntry(ls, ls.comp.Compute(ls.origins, act))
+		ls.tableCache[string(ls.keyBuf)] = ent
+		return ent
+	}
+	// Ablation path (WithRoutingCache(false)): the reference full-sweep
+	// computation, exactly as the pre-incremental engine ran it.
+	return ev.newRouteEntry(ls, bgpsim.Compute(ev.Graph, ls.origins, act))
 }
 
 // newRouteEntry derives the per-site traffic shares from a routing table.

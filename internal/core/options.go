@@ -36,6 +36,13 @@ type options struct {
 	schedule     *attack.Schedule
 	faults       *faults.Plan
 	routingCache bool
+	// checkpointDir enables periodic state snapshots; checkpointEvery is
+	// the minute stride between them.
+	checkpointDir   string
+	checkpointEvery int
+	// heartbeat receives one call per letter per simulated minute, from
+	// the engine's worker goroutines (see WithHeartbeat).
+	heartbeat HeartbeatFunc
 }
 
 func defaultOptions() options {
@@ -98,6 +105,36 @@ func WithSchedule(s *attack.Schedule) Option {
 // ablation knob the equivalence tests and benchmarks compare against.
 func WithRoutingCache(enabled bool) Option {
 	return func(o *options) { o.routingCache = enabled }
+}
+
+// WithCheckpoint enables periodic crash-safe snapshots of the engine's
+// state under dir, one every everyN simulated minutes (everyN < 1 selects
+// the default of 10). Snapshots are written at minute boundaries through
+// the internal/checkpoint package — temp file, fsync, rename, checksummed
+// manifest — so a killed process leaves a loadable directory for ResumeRun.
+// Checkpointing never perturbs the simulation: a checkpointed run's output
+// is byte-identical to the same run without WithCheckpoint.
+func WithCheckpoint(dir string, everyN int) Option {
+	return func(o *options) {
+		o.checkpointDir = dir
+		if everyN < 1 {
+			everyN = 10
+		}
+		o.checkpointEvery = everyN
+	}
+}
+
+// HeartbeatFunc receives liveness reports from the engine: one call per
+// letter per simulated minute, made from the letter's worker goroutine as
+// its minute step completes. Implementations must be safe for concurrent
+// use and should be cheap (an atomic store); the run supervisor's watchdog
+// is the intended consumer.
+type HeartbeatFunc func(letter byte, minute int)
+
+// WithHeartbeat registers a per-letter liveness callback, used by the run
+// supervisor to detect stalled letter-workers.
+func WithHeartbeat(fn HeartbeatFunc) Option {
+	return func(o *options) { o.heartbeat = fn }
 }
 
 // WithFaults injects a deterministic fault plan into the run: site

@@ -1,0 +1,43 @@
+package lintcheck
+
+import "go/ast"
+
+// AtomicWriteAnalyzer enforces crash-safe output in the command-line
+// harnesses: whole-file writes must go through internal/atomicio
+// (temp + fsync + rename) so a run killed mid-write — exactly what the
+// kill/resume soak does on purpose — never leaves a torn result file.
+// The rule is scoped by Config.AtomicWriteBan; genuinely streaming
+// writers (a CPU profile that is open for the whole run) carry a
+// `//repolint:allow atomicwrite` comment with a justification.
+func AtomicWriteAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomicwrite",
+		Doc:  "forbid bare os.Create and os.WriteFile in command-line harnesses; whole-file writes must use internal/atomicio",
+		Run:  runAtomicWrite,
+	}
+}
+
+func runAtomicWrite(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if !exempt(pass.RelFile(file.Pos()), pass.Cfg.AtomicWriteBan) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			switch {
+			case isPkgFunc(fn, "os", "Create"):
+				pass.Reportf("atomicwrite", call.Pos(),
+					"os.Create leaves a torn file if the run dies mid-write; use atomicio.WriteFile (temp+fsync+rename)")
+			case isPkgFunc(fn, "os", "WriteFile"):
+				pass.Reportf("atomicwrite", call.Pos(),
+					"os.WriteFile leaves a torn file if the run dies mid-write; use atomicio.WriteFileBytes (temp+fsync+rename)")
+			}
+			return true
+		})
+	}
+}

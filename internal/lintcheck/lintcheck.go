@@ -37,6 +37,9 @@
 //   - ctxfirst:     context.Context must be the first parameter.
 //   - mutexcopy:    no sync.Mutex (or type containing one) passed or returned
 //     by value.
+//   - atomicwrite:  in command-line harnesses, whole-file writes must go
+//     through internal/atomicio (temp + fsync + rename) instead of bare
+//     os.Create / os.WriteFile, so a killed run never leaves torn output.
 package lintcheck
 
 import (
@@ -77,6 +80,10 @@ type Config struct {
 	// entirely (the mapiter rule): pooled scratch state makes the weaker
 	// escape analysis of maprange insufficient there.
 	MapIterBan []string
+	// AtomicWriteBan lists prefixes where bare os.Create / os.WriteFile is
+	// forbidden (the atomicwrite rule): harness output must survive the
+	// kill/resume soak's SIGKILLs without tearing.
+	AtomicWriteBan []string
 }
 
 // DefaultConfig is the repository policy: wall clock is allowed in the
@@ -90,6 +97,9 @@ func DefaultConfig() Config {
 		// map-range there could write iteration order into pooled state
 		// that outlives the function the maprange rule analyzes.
 		MapIterBan: []string{"internal/bgpsim"},
+		// The command harnesses are what the kill/resume soak SIGKILLs;
+		// their output files must be atomic or a crash tears out/.
+		AtomicWriteBan: []string{"cmd/"},
 	}
 }
 
@@ -149,6 +159,7 @@ func Analyzers() []*Analyzer {
 		ErrHygieneAnalyzer(),
 		PanicPolicyAnalyzer(),
 		APIHygieneAnalyzer(),
+		AtomicWriteAnalyzer(),
 	}
 }
 

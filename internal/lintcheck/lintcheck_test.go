@@ -127,6 +127,38 @@ func TestMapIterFixture(t *testing.T) {
 	}
 }
 
+// TestAtomicWriteFixture checks the atomicwrite rule against its fixture
+// with a Config that bans bare writes there (the fixture directory stands
+// in for cmd/, which DefaultConfig covers — see TestDefaultConfigScopes).
+func TestAtomicWriteFixture(t *testing.T) {
+	const dir = "internal/lintcheck/testdata/atomicwrite"
+	cfg := DefaultConfig()
+	cfg.AtomicWriteBan = append(cfg.AtomicWriteBan, dir)
+	diags := Run(loadFixture(t, "./"+dir), cfg)
+	want := []key{
+		{"atomicwrite", dir + "/bad.go", 14},
+		{"atomicwrite", dir + "/bad.go", 23},
+	}
+	got := diagKeys(diags)
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(want), diags)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "atomicio") {
+			t.Errorf("diagnostic %v does not point at the atomicio helper", d)
+		}
+	}
+	// Outside the banned prefixes the fixture is clean: the rule is scoped.
+	if diags := Run(loadFixture(t, "./"+dir), DefaultConfig()); len(diags) != 0 {
+		t.Errorf("unbanned fixture still produced diagnostics: %v", diags)
+	}
+}
+
 // TestRepolintSelfClean runs the full suite over the whole repository. Every
 // future PR inherits this test, so a change that reintroduces a wall-clock
 // read, an unseeded RNG, or a stray panic fails the build here.
@@ -227,5 +259,11 @@ func TestDefaultConfigScopes(t *testing.T) {
 	}
 	if exempt("internal/core/evaluator.go", cfg.MapIterBan) {
 		t.Error("MapIterBan must not cover internal/core")
+	}
+	if !exempt("cmd/rootevent/main.go", cfg.AtomicWriteBan) {
+		t.Error("AtomicWriteBan should cover cmd/ (harness output must survive SIGKILL)")
+	}
+	if exempt("internal/checkpoint/io.go", cfg.AtomicWriteBan) {
+		t.Error("AtomicWriteBan must not cover internal/ (atomicio itself lives there)")
 	}
 }

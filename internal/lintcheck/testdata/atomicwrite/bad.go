@@ -1,0 +1,42 @@
+// Package atomicwrite is a repolint fixture for the atomicwrite rule,
+// which bans bare os.Create / os.WriteFile where a SIGKILLed run must not
+// leave torn output (cmd/ in the repository policy). The fixture is only
+// checked with a Config that lists this directory in AtomicWriteBan;
+// expected diagnostics are asserted, with exact line numbers, in
+// internal/lintcheck/lintcheck_test.go.
+package atomicwrite
+
+import "os"
+
+// TornCreate opens an output file for incremental writes; a crash midway
+// leaves a truncated file behind.
+func TornCreate(path string) error {
+	f, err := os.Create(path) // want atomicwrite (line 14)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// TornWriteFile writes the whole content, but not atomically.
+func TornWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want atomicwrite (line 23)
+}
+
+// OpenIsFine only reads; no diagnostic expected.
+func OpenIsFine(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Suppressed documents a justified streaming writer with an allow marker.
+func Suppressed(path string) error {
+	f, err := os.Create(path) //repolint:allow atomicwrite -- fixture: streaming writer held open for the whole run
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -254,6 +254,28 @@ func (r *Router) ForceAnnounce() bool {
 	return true
 }
 
+// RouterState is the serializable mutable state of a Router, captured for
+// checkpointing. The policy and thresholds are configuration (rebuilt from
+// the same Config on resume), so only the announcement dynamics appear
+// here.
+type RouterState struct {
+	Announced   bool
+	OverMinutes int
+	DownSince   int
+}
+
+// State captures the router's mutable state for a checkpoint.
+func (r *Router) State() RouterState {
+	return RouterState{Announced: r.announced, OverMinutes: r.overMinutes, DownSince: r.downSince}
+}
+
+// Restore overwrites the router's mutable state from a checkpoint.
+func (r *Router) Restore(s RouterState) {
+	r.announced = s.Announced
+	r.overMinutes = s.OverMinutes
+	r.downSince = s.DownSince
+}
+
 // Step advances the state machine one minute given the site's current
 // utilization (offered/capacity; a withdrawn site sees utilization 0). It
 // returns whether the announcement state changed.
