@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build lint test race soak soak-resume bench bench-workers reproduce
+.PHONY: verify fmt vet build lint test race soak soak-resume bench bench-gate bench-workers reproduce
 
 # Keep bench going even if tee's upstream pipeline status matters on some
 # shells: the JSON step only runs when the bench run itself succeeded.
@@ -51,14 +51,24 @@ soak-resume:
 
 # Tracked benchmark baseline: the per-figure benches plus the routing
 # (ComputeFullVsIncremental) and probe (ProbeOutcome) hot-path benches,
-# converted into BENCH_4.json (see README "Performance"). The Nov30 scaling
+# converted into BENCH_6.json (see README "Performance"). The Nov30 scaling
 # bench stays in bench-workers — it is far too heavy for a routine run.
 # BENCHTIME=1x is the quick CI variant.
 BENCHTIME ?= 1s
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
 		-skip 'Nov30EventWorkers' -timeout 60m ./... | tee bench.out
-	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_4.json
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_6.json
+	$(MAKE) bench-gate
+
+# Allocation gate against the pre-columnar baseline: b_per_op/allocs_per_op
+# must not regress past tolerance anywhere, and Figure4 must hold the >= 5x
+# reduction the columnar store bought (see README "Performance"). Timing is
+# deliberately not gated — CI runners share cores; allocation counts don't.
+bench-gate:
+	$(GO) run ./cmd/benchjson -diff \
+		-min-improve 'Figure4:b_per_op:5,Figure4:allocs_per_op:5' \
+		BENCH_4.json BENCH_6.json
 
 # Parallel-engine scaling benches (byte-identical output per worker count).
 bench-workers:

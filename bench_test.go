@@ -55,14 +55,21 @@ func benchWorld(b testing.TB) (*core.Evaluator, *atlas.Dataset) {
 	return benchEval, benchData
 }
 
+// benchAnalyzer returns an Analyzer over the shared benchWorld run, built
+// outside any timed region.
+func benchAnalyzer(b testing.TB) *analysis.Analyzer {
+	ev, d := benchWorld(b)
+	return analysis.New(ev, d)
+}
+
 // BenchmarkTable2 regenerates Table 2: reported vs observed sites per
 // letter.
 func BenchmarkTable2(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	var rows []analysis.Table2Row
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = analysis.Table2(ev, d)
+		rows = an.Table2()
 	}
 	b.StopTimer()
 	observed := 0
@@ -75,13 +82,13 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates Table 3's event-size estimation for both
 // events.
 func BenchmarkTable3(b *testing.B) {
-	ev, _ := benchWorld(b)
+	an := benchAnalyzer(b)
 	var res *analysis.Table3Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
 		for evIdx := 0; evIdx < 2; evIdx++ {
-			res, err = analysis.Table3(ev, evIdx)
+			res, err = an.Table3(evIdx)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -110,11 +117,11 @@ func BenchmarkFigure2(b *testing.B) {
 
 // BenchmarkFigure3 regenerates the per-letter reachability series.
 func BenchmarkFigure3(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	var minB float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := analysis.Figure3(ev, d)
+		s, err := an.Figure3()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,11 +132,11 @@ func BenchmarkFigure3(b *testing.B) {
 
 // BenchmarkFigure4 regenerates the per-letter median RTT series.
 func BenchmarkFigure4(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	var kMax float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := analysis.Figure4(ev, d)
+		s, err := an.Figure4()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,12 +147,12 @@ func BenchmarkFigure4(b *testing.B) {
 
 // BenchmarkFigure5 regenerates the per-site swing table for E and K.
 func BenchmarkFigure5(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	n := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, lb := range []byte{'E', 'K'} {
-			rows, err := analysis.Figure5(ev, d, lb)
+			rows, err := an.Figure5(lb)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -157,13 +164,13 @@ func BenchmarkFigure5(b *testing.B) {
 
 // BenchmarkFigure6 regenerates the per-site catchment series for E and K.
 func BenchmarkFigure6(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	critical := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		critical = 0
 		for _, lb := range []byte{'E', 'K'} {
-			minis, err := analysis.Figure6(ev, d, lb)
+			minis, err := an.Figure6(lb)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -177,11 +184,11 @@ func BenchmarkFigure6(b *testing.B) {
 
 // BenchmarkFigure7 regenerates the stressed-K-site RTT series.
 func BenchmarkFigure7(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	var amsPeak float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		series, err := analysis.Figure7(ev, d, 'K', []string{"AMS", "NRT", "LHR", "FRA"})
+		series, err := an.Figure7('K', []string{"AMS", "NRT", "LHR", "FRA"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -192,11 +199,11 @@ func BenchmarkFigure7(b *testing.B) {
 
 // BenchmarkFigure8 regenerates site-flip counting across all letters.
 func BenchmarkFigure8(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	var total float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		flips, err := analysis.Figure8(ev, d)
+		flips, err := an.Figure8()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,11 +219,11 @@ func BenchmarkFigure8(b *testing.B) {
 
 // BenchmarkFigure9 regenerates the BGPmon route-change series.
 func BenchmarkFigure9(b *testing.B) {
-	ev, _ := benchWorld(b)
+	an := benchAnalyzer(b)
 	var total float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		series := analysis.Figure9(ev)
+		series := an.Figure9()
 		total = 0
 		for _, s := range series {
 			for _, v := range s.Values {
@@ -229,11 +236,11 @@ func BenchmarkFigure9(b *testing.B) {
 
 // BenchmarkFigure10 regenerates the K-LHR/K-FRA flip-flow analysis.
 func BenchmarkFigure10(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	movers := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		flows, err := analysis.Figure10(ev, d, 'K', []string{"LHR", "FRA"}, 0)
+		flows, err := an.Figure10('K', []string{"LHR", "FRA"}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -247,11 +254,11 @@ func BenchmarkFigure10(b *testing.B) {
 
 // BenchmarkFigure11 regenerates the 300-VP raster.
 func BenchmarkFigure11(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	rows := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := analysis.Figure11(ev, d, 'K', "LHR", "FRA", "AMS", 300)
+		r, err := an.Figure11('K', "LHR", "FRA", "AMS", 300)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -262,13 +269,13 @@ func BenchmarkFigure11(b *testing.B) {
 
 // BenchmarkFigure12 regenerates per-server reachability (K-FRA, K-NRT).
 func BenchmarkFigure12(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	servers := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		servers = 0
 		for _, code := range []string{"FRA", "NRT"} {
-			series, err := analysis.FigureServers(ev, d, 'K', code)
+			series, err := an.FigureServers('K', code)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -281,11 +288,11 @@ func BenchmarkFigure12(b *testing.B) {
 // BenchmarkFigure13 regenerates per-server RTT medians (same pipeline,
 // reported separately to mirror the paper's figure split).
 func BenchmarkFigure13(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	var peak float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		series, err := analysis.FigureServers(ev, d, 'K', "NRT")
+		series, err := an.FigureServers('K', "NRT")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -301,11 +308,11 @@ func BenchmarkFigure13(b *testing.B) {
 
 // BenchmarkFigure14 regenerates the D-Root collateral-damage scan.
 func BenchmarkFigure14(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	hits := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sites, err := analysis.Figure14(ev, d, 'D', 0.10)
+		sites, err := an.Figure14('D', 0.10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -316,11 +323,11 @@ func BenchmarkFigure14(b *testing.B) {
 
 // BenchmarkFigure15 regenerates the .nl collateral series.
 func BenchmarkFigure15(b *testing.B) {
-	ev, _ := benchWorld(b)
+	an := benchAnalyzer(b)
 	var min float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		series := analysis.Figure15(ev)
+		series := an.Figure15()
 		min = 1
 		for _, s := range series {
 			if m, _, err := s.Min(); err == nil && m < min {
@@ -333,11 +340,11 @@ func BenchmarkFigure15(b *testing.B) {
 
 // BenchmarkSiteCorrelation regenerates the §3.2.1 R² analysis.
 func BenchmarkSiteCorrelation(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	var r2 float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := analysis.SiteCorrelation(ev, d)
+		res, err := an.SiteCorrelation()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -348,11 +355,11 @@ func BenchmarkSiteCorrelation(b *testing.B) {
 
 // BenchmarkLetterFlips regenerates the §3.2.2 L-Root failover analysis.
 func BenchmarkLetterFlips(b *testing.B) {
-	ev, _ := benchWorld(b)
+	an := benchAnalyzer(b)
 	var ratio float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := analysis.LetterFlips(ev, 'L')
+		res, err := an.LetterFlips('L')
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -598,11 +605,11 @@ func BenchmarkAblationUniqueIPs(b *testing.B) {
 
 // BenchmarkDNSMON regenerates the availability dashboard.
 func BenchmarkDNSMON(b *testing.B) {
-	ev, d := benchWorld(b)
+	an := benchAnalyzer(b)
 	var bMin float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := analysis.DNSMON(ev, d)
+		rows, err := an.DNSMON()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -619,10 +626,11 @@ func BenchmarkDNSMON(b *testing.B) {
 // the two event windows.
 func BenchmarkEventDetection(b *testing.B) {
 	ev, d := benchWorld(b)
+	an := analysis.New(ev, d)
 	var matched int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		windows, err := analysis.DetectEvents(ev, d, 0.25, 3)
+		windows, err := an.DetectEvents(0.25, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -635,14 +643,14 @@ func BenchmarkEventDetection(b *testing.B) {
 // resolver population with caching and cross-letter failover riding out the
 // event (§2.3's "no end-user visible errors" claim).
 func BenchmarkUserImpact(b *testing.B) {
-	ev, _ := benchWorld(b)
+	an := benchAnalyzer(b)
 	cfg := analysis.DefaultUserImpactConfig(1)
 	cfg.Resolvers = 40
 	cfg.QueriesPerBin = 4
 	var worstFail float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := analysis.UserImpact(ev, cfg)
+		res, err := an.UserImpact(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricReading extracts one gated metric from a benchmark entry; ok is
+// false when the benchmark did not report it.
+func metricReading(b Benchmark, metric string) (float64, bool) {
+	switch metric {
+	case "ns_per_op":
+		return b.NsPerOp, b.NsPerOp > 0
+	case "b_per_op":
+		if b.BytesPerOp == nil {
+			return 0, false
+		}
+		return *b.BytesPerOp, true
+	case "allocs_per_op":
+		if b.AllocsPerOp == nil {
+			return 0, false
+		}
+		return *b.AllocsPerOp, true
+	default:
+		v, ok := b.Metrics[metric]
+		return v, ok
+	}
+}
+
+// improveReq demands that new is at least Factor times better (smaller) than
+// old for one benchmark metric: old/new >= Factor.
+type improveReq struct {
+	Bench  string
+	Metric string
+	Factor float64
+}
+
+// parseTolerances parses "b_per_op=0.15,allocs_per_op=0.15" into a map of
+// allowed fractional regressions per metric.
+func parseTolerances(s string) (map[string]float64, error) {
+	tol := make(map[string]float64)
+	if s == "" {
+		return tol, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tolerance %q (want metric=frac)", part)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad tolerance fraction %q", v)
+		}
+		tol[k] = f
+	}
+	return tol, nil
+}
+
+// parseMinImprove parses "Figure4:b_per_op:5,Figure4:allocs_per_op:5".
+func parseMinImprove(s string) ([]improveReq, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var reqs []improveReq
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad min-improve %q (want bench:metric:factor)", part)
+		}
+		f, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad min-improve factor %q", fields[2])
+		}
+		reqs = append(reqs, improveReq{Bench: fields[0], Metric: fields[1], Factor: f})
+	}
+	return reqs, nil
+}
+
+// diffResult separates what a human wants to read (Lines) from what CI
+// gates on (Failures).
+type diffResult struct {
+	Lines    []string
+	Failures []string
+}
+
+// diffBaselines compares two parsed baselines benchmark-by-benchmark. A
+// gated metric fails when new exceeds old by more than its tolerance
+// fraction; a min-improve requirement fails when old/new falls short of the
+// demanded factor. Benchmarks present in only one file are reported but
+// never fail the gate, so adding or retiring a benchmark does not require
+// regenerating the old baseline in the same commit.
+func diffBaselines(oldOut, newOut *Output, tol map[string]float64, reqs []improveReq) diffResult {
+	var res diffResult
+	oldBy := make(map[string]Benchmark, len(oldOut.Benchmarks))
+	for _, b := range oldOut.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := make(map[string]Benchmark, len(newOut.Benchmarks))
+	for _, b := range newOut.Benchmarks {
+		newBy[b.Name] = b
+	}
+
+	gated := make([]string, 0, len(tol))
+	for m := range tol {
+		gated = append(gated, m)
+	}
+	sort.Strings(gated)
+
+	for _, nb := range newOut.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			res.Lines = append(res.Lines, fmt.Sprintf("%-28s new benchmark (no baseline)", nb.Name))
+			continue
+		}
+		for _, metric := range gated {
+			ov, okO := metricReading(ob, metric)
+			nv, okN := metricReading(nb, metric)
+			if !okO || !okN {
+				continue
+			}
+			res.Lines = append(res.Lines, fmt.Sprintf("%-28s %-13s %14.0f -> %14.0f (%+.1f%%)",
+				nb.Name, metric, ov, nv, pctChange(ov, nv)))
+			if nv > ov*(1+tol[metric]) {
+				res.Failures = append(res.Failures, fmt.Sprintf(
+					"%s %s regressed: %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+					nb.Name, metric, ov, nv, pctChange(ov, nv), tol[metric]*100))
+			}
+		}
+	}
+	for _, ob := range oldOut.Benchmarks {
+		if _, ok := newBy[ob.Name]; !ok {
+			res.Lines = append(res.Lines, fmt.Sprintf("%-28s removed (was in baseline)", ob.Name))
+		}
+	}
+
+	for _, req := range reqs {
+		nb, okB := newBy[req.Bench]
+		ob, okO := oldBy[req.Bench]
+		if !okB || !okO {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"min-improve %s:%s: benchmark missing from %s", req.Bench, req.Metric,
+				map[bool]string{true: "new baseline", false: "old baseline"}[okO]))
+			continue
+		}
+		ov, okOV := metricReading(ob, req.Metric)
+		nv, okNV := metricReading(nb, req.Metric)
+		if !okOV || !okNV {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"min-improve %s:%s: metric not reported", req.Bench, req.Metric))
+			continue
+		}
+		factor := ov / nv
+		if nv == 0 {
+			// A drop to zero is an unbounded improvement.
+			res.Lines = append(res.Lines, fmt.Sprintf("%-28s %-13s %14.0f -> 0 (min-improve %gx: ok)",
+				req.Bench, req.Metric, ov, req.Factor))
+			continue
+		}
+		if factor < req.Factor {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"min-improve %s:%s: %.0f -> %.0f is %.2fx, need >= %gx",
+				req.Bench, req.Metric, ov, nv, factor, req.Factor))
+			continue
+		}
+		res.Lines = append(res.Lines, fmt.Sprintf("%-28s %-13s %14.0f -> %14.0f (min-improve %gx: %.1fx ok)",
+			req.Bench, req.Metric, ov, nv, req.Factor, factor))
+	}
+	return res
+}
+
+// pctChange is the signed percent change from old to new.
+func pctChange(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+
+func baseline(benches ...Benchmark) *Output {
+	return &Output{Schema: "rootevent-bench-v1", Benchmarks: benches}
+}
+
+func TestParseTolerances(t *testing.T) {
+	tol, err := parseTolerances("b_per_op=0.15,allocs_per_op=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol["b_per_op"] != 0.15 || tol["allocs_per_op"] != 0.2 {
+		t.Fatalf("parsed %v", tol)
+	}
+	if _, err := parseTolerances("nonsense"); err == nil {
+		t.Error("missing '=' should fail")
+	}
+	if _, err := parseTolerances("x=-1"); err == nil {
+		t.Error("negative tolerance should fail")
+	}
+}
+
+func TestParseMinImprove(t *testing.T) {
+	reqs, err := parseMinImprove("Figure4:b_per_op:5,Figure4:allocs_per_op:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[0] != (improveReq{"Figure4", "b_per_op", 5}) {
+		t.Fatalf("parsed %v", reqs)
+	}
+	if _, err := parseMinImprove("a:b"); err == nil {
+		t.Error("two fields should fail")
+	}
+	if _, err := parseMinImprove("a:b:0"); err == nil {
+		t.Error("zero factor should fail")
+	}
+}
+
+func TestDiffWithinTolerancePasses(t *testing.T) {
+	oldOut := baseline(Benchmark{Name: "X", NsPerOp: 100, BytesPerOp: f64(1000), AllocsPerOp: f64(10)})
+	newOut := baseline(Benchmark{Name: "X", NsPerOp: 500, BytesPerOp: f64(1100), AllocsPerOp: f64(11)})
+	tol := map[string]float64{"b_per_op": 0.15, "allocs_per_op": 0.15}
+	res := diffBaselines(oldOut, newOut, tol, nil)
+	if len(res.Failures) != 0 {
+		t.Fatalf("10%% growth within 15%% tolerance failed: %v", res.Failures)
+	}
+	// ns_per_op is not gated by default: the 5x slowdown above must not fail.
+}
+
+func TestDiffRegressionFails(t *testing.T) {
+	oldOut := baseline(Benchmark{Name: "X", NsPerOp: 100, BytesPerOp: f64(1000), AllocsPerOp: f64(10)})
+	newOut := baseline(Benchmark{Name: "X", NsPerOp: 100, BytesPerOp: f64(1200), AllocsPerOp: f64(10)})
+	tol := map[string]float64{"b_per_op": 0.15, "allocs_per_op": 0.15}
+	res := diffBaselines(oldOut, newOut, tol, nil)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "b_per_op regressed") {
+		t.Fatalf("20%% b_per_op growth should fail the gate: %v", res.Failures)
+	}
+}
+
+func TestDiffMinImprove(t *testing.T) {
+	oldOut := baseline(Benchmark{Name: "Figure4", NsPerOp: 100, BytesPerOp: f64(70_000_000), AllocsPerOp: f64(40_000)})
+	good := baseline(Benchmark{Name: "Figure4", NsPerOp: 100, BytesPerOp: f64(1_000_000), AllocsPerOp: f64(100)})
+	bad := baseline(Benchmark{Name: "Figure4", NsPerOp: 100, BytesPerOp: f64(30_000_000), AllocsPerOp: f64(100)})
+	reqs := []improveReq{{"Figure4", "b_per_op", 5}, {"Figure4", "allocs_per_op", 5}}
+
+	if res := diffBaselines(oldOut, good, nil, reqs); len(res.Failures) != 0 {
+		t.Fatalf("70x/400x improvements should satisfy 5x: %v", res.Failures)
+	}
+	res := diffBaselines(oldOut, bad, nil, reqs)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "min-improve Figure4:b_per_op") {
+		t.Fatalf("2.3x improvement should miss the 5x floor: %v", res.Failures)
+	}
+	// A benchmark missing from the new baseline is a hard failure: the gate
+	// must not silently pass because the bench was renamed away.
+	res = diffBaselines(oldOut, baseline(Benchmark{Name: "Other", NsPerOp: 1}), nil, reqs[:1])
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "missing") {
+		t.Fatalf("missing benchmark should fail min-improve: %v", res.Failures)
+	}
+}
+
+func TestDiffAddedAndRemovedAreReportedNotFailed(t *testing.T) {
+	oldOut := baseline(Benchmark{Name: "Gone", NsPerOp: 1, BytesPerOp: f64(1)})
+	newOut := baseline(Benchmark{Name: "Fresh", NsPerOp: 1, BytesPerOp: f64(1)})
+	res := diffBaselines(oldOut, newOut, map[string]float64{"b_per_op": 0.15}, nil)
+	if len(res.Failures) != 0 {
+		t.Fatalf("added/removed benchmarks must not fail the gate: %v", res.Failures)
+	}
+	joined := strings.Join(res.Lines, "\n")
+	if !strings.Contains(joined, "Fresh") || !strings.Contains(joined, "Gone") {
+		t.Fatalf("added/removed benchmarks should be reported:\n%s", joined)
+	}
+}
+
+func TestDiffZeroNewValueIsUnboundedImprovement(t *testing.T) {
+	oldOut := baseline(Benchmark{Name: "X", NsPerOp: 100, AllocsPerOp: f64(50)})
+	newOut := baseline(Benchmark{Name: "X", NsPerOp: 100, AllocsPerOp: f64(0)})
+	reqs := []improveReq{{"X", "allocs_per_op", 5}}
+	if res := diffBaselines(oldOut, newOut, nil, reqs); len(res.Failures) != 0 {
+		t.Fatalf("50 -> 0 allocs should satisfy any factor: %v", res.Failures)
+	}
+}

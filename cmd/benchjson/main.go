@@ -5,11 +5,23 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench=. -benchmem ./... | benchjson -out BENCH_4.json
-//	benchjson -in bench.out -out BENCH_4.json
+//	go test -run '^$' -bench=. -benchmem ./... | benchjson -out BENCH_6.json
+//	benchjson -in bench.out -out BENCH_6.json
 //
 // The output contains no timestamps or host-specific paths, so regenerating
 // it on the same machine yields a minimal diff: only measured values change.
+//
+// Diff mode compares two baselines and gates CI on allocation regressions:
+//
+//	benchjson -diff BENCH_4.json BENCH_6.json
+//	benchjson -diff -tolerance 'b_per_op=0.15,allocs_per_op=0.15' \
+//	    -min-improve 'Figure4:b_per_op:5,Figure4:allocs_per_op:5' old.json new.json
+//
+// Gated metrics (default b_per_op and allocs_per_op — allocation counts are
+// deterministic, wall time on shared runners is not) fail the diff when the
+// new value regresses past its tolerance fraction; -min-improve additionally
+// demands a named benchmark improved by at least the given factor. Exit
+// status 1 means the gate failed.
 package main
 
 import (
@@ -55,7 +67,20 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	out := flag.String("out", "", "JSON baseline file (default: stdout)")
+	diff := flag.Bool("diff", false, "compare two baseline files: benchjson -diff old.json new.json")
+	tolerance := flag.String("tolerance", "b_per_op=0.15,allocs_per_op=0.15",
+		"diff mode: allowed fractional regression per gated metric")
+	minImprove := flag.String("min-improve", "",
+		"diff mode: required improvements, bench:metric:factor[,...]")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("diff mode needs exactly two baseline files: benchjson -diff old.json new.json")
+		}
+		runDiff(flag.Arg(0), flag.Arg(1), *tolerance, *minImprove)
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -88,6 +113,41 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d benchmarks to %s", len(res.Benchmarks), *out)
+}
+
+// runDiff loads two baselines, prints the comparison, and exits 1 when any
+// tolerance or min-improve requirement fails.
+func runDiff(oldPath, newPath, tolerance, minImprove string) {
+	tol, err := parseTolerances(tolerance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := parseMinImprove(minImprove)
+	if err != nil {
+		log.Fatal(err)
+	}
+	load := func(path string) *Output {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var o Output
+		if err := json.Unmarshal(data, &o); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		return &o
+	}
+	res := diffBaselines(load(oldPath), load(newPath), tol, reqs)
+	for _, line := range res.Lines {
+		fmt.Println(line)
+	}
+	if len(res.Failures) > 0 {
+		for _, f := range res.Failures {
+			fmt.Fprintln(os.Stderr, "FAIL: "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson diff: %d benchmarks compared, gate passed\n", len(res.Lines))
 }
 
 // parse scans bench output, keeping goos/goarch headers and result lines.

@@ -213,6 +213,8 @@ func main() {
 		log.Printf("archived dataset to %s", *saveData)
 	}
 
+	an := analysis.New(ev, d)
+
 	run := func(key, desc string, fn func(w io.Writer) error) {
 		if !selected(key) {
 			return
@@ -251,11 +253,11 @@ func main() {
 	}
 
 	run("table2", "Table 2: letters, reported vs observed sites", func(w io.Writer) error {
-		return report.WriteTable2(w, analysis.Table2(ev, d))
+		return report.WriteTable2(w, an.Table2())
 	})
 	run("table3", "Table 3: RSSAC-002 event-size estimation", func(w io.Writer) error {
 		for evIdx := range ev.Schedule().Events {
-			res, err := analysis.Table3(ev, evIdx)
+			res, err := an.Table3(evIdx)
 			if err != nil {
 				return err
 			}
@@ -270,7 +272,7 @@ func main() {
 		return writePolicyCases(w)
 	})
 
-	fig3, err := analysis.Figure3(ev, d)
+	fig3, err := an.Figure3()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -279,7 +281,7 @@ func main() {
 	})
 	writeCSV("fig3", letterSeriesCSV(fig3)...)
 
-	fig4, err := analysis.Figure4(ev, d)
+	fig4, err := an.Figure4()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -291,7 +293,7 @@ func main() {
 	for _, lb := range []byte{'E', 'K'} {
 		key5 := fmt.Sprintf("fig5%c", lb+32)
 		run(key5, fmt.Sprintf("Figure 5: %c-Root site swings", lb), func(w io.Writer) error {
-			rows, err := analysis.Figure5(ev, d, lb)
+			rows, err := an.Figure5(lb)
 			if err != nil {
 				return err
 			}
@@ -299,7 +301,7 @@ func main() {
 		})
 		key6 := fmt.Sprintf("fig6%c", lb+32)
 		run(key6, fmt.Sprintf("Figure 6: %c-Root per-site catchments", lb), func(w io.Writer) error {
-			minis, err := analysis.Figure6(ev, d, lb)
+			minis, err := an.Figure6(lb)
 			if err != nil {
 				return err
 			}
@@ -308,7 +310,7 @@ func main() {
 	}
 
 	run("fig7", "Figure 7: RTT at stressed K-Root sites", func(w io.Writer) error {
-		series, err := analysis.Figure7(ev, d, 'K', []string{"AMS", "NRT", "LHR", "FRA"})
+		series, err := an.Figure7('K', []string{"AMS", "NRT", "LHR", "FRA"})
 		if err != nil {
 			return err
 		}
@@ -325,7 +327,7 @@ func main() {
 		return report.WriteLetterSeries(w, "Median RTT (ms) at selected K sites", byLetter, 96)
 	})
 
-	fig8, err := analysis.Figure8(ev, d)
+	fig8, err := an.Figure8()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -334,7 +336,7 @@ func main() {
 	})
 	writeCSV("fig8", letterSeriesCSV(fig8)...)
 
-	fig9 := analysis.Figure9(ev)
+	fig9 := an.Figure9()
 	run("fig9", "Figure 9: BGP route changes per letter", func(w io.Writer) error {
 		return report.WriteLetterSeries(w, "Route changes at 152 collector peers", fig9, 96)
 	})
@@ -342,7 +344,7 @@ func main() {
 
 	run("fig10", "Figure 10: flip flows from K-LHR/K-FRA", func(w io.Writer) error {
 		for evIdx := range ev.Schedule().Events {
-			flows, err := analysis.Figure10(ev, d, 'K', []string{"LHR", "FRA"}, evIdx)
+			flows, err := an.Figure10('K', []string{"LHR", "FRA"}, evIdx)
 			if err != nil {
 				return err
 			}
@@ -354,12 +356,12 @@ func main() {
 		return nil
 	})
 	run("fig11", "Figure 11: VP raster for K-LHR/K-FRA homes", func(w io.Writer) error {
-		rows, err := analysis.Figure11(ev, d, 'K', "LHR", "FRA", "AMS", 300)
+		rows, err := an.Figure11('K', "LHR", "FRA", "AMS", 300)
 		if err != nil {
 			return err
 		}
 		for evIdx := range ev.Schedule().Events {
-			groups, err := analysis.ClassifyRaster(rows, d, ev.Schedule(), evIdx)
+			groups, err := an.ClassifyRaster(rows, evIdx)
 			if err != nil {
 				return err
 			}
@@ -374,7 +376,7 @@ func main() {
 	})
 	run("fig12-13", "Figures 12/13: per-server reachability and RTT (K-FRA, K-NRT)", func(w io.Writer) error {
 		for _, code := range []string{"FRA", "NRT"} {
-			series, err := analysis.FigureServers(ev, d, 'K', code)
+			series, err := an.FigureServers('K', code)
 			if err != nil {
 				return err
 			}
@@ -386,7 +388,7 @@ func main() {
 		return nil
 	})
 	run("fig14", "Figure 14: collateral damage at D-Root sites", func(w io.Writer) error {
-		sites, err := analysis.Figure14(ev, d, 'D', 0.10)
+		sites, err := an.Figure14('D', 0.10)
 		if err != nil {
 			return err
 		}
@@ -404,7 +406,7 @@ func main() {
 		return nil
 	})
 	run("fig15", "Figure 15: .nl collateral damage", func(w io.Writer) error {
-		series := analysis.Figure15(ev)
+		series := an.Figure15()
 		writeCSV("fig15", series...)
 		for i, s := range series {
 			min, _, _ := s.Min()
@@ -414,14 +416,14 @@ func main() {
 		return nil
 	})
 	run("correlation", "§3.2.1: sites vs worst reachability (paper: R²=0.87)", func(w io.Writer) error {
-		res, err := analysis.SiteCorrelation(ev, d)
+		res, err := an.SiteCorrelation()
 		if err != nil {
 			return err
 		}
 		return report.WriteCorrelation(w, res)
 	})
 	run("letterflips", "§3.2.2: failover load at L-Root", func(w io.Writer) error {
-		res, err := analysis.LetterFlips(ev, 'L')
+		res, err := an.LetterFlips('L')
 		if err != nil {
 			return err
 		}
@@ -453,7 +455,7 @@ func main() {
 		return nil
 	})
 	run("dnsmon", "DNSMON-style availability dashboard", func(w io.Writer) error {
-		rows, err := analysis.DNSMON(ev, d)
+		rows, err := an.DNSMON()
 		if err != nil {
 			return err
 		}
@@ -471,7 +473,7 @@ func main() {
 		return report.WriteTable(w, []string{"letter", "overall ok", "event ok", "worst bin", "median RTT ms", "event p90 RTT ms"}, out)
 	})
 	run("detect", "blind event detection from the measurement data", func(w io.Writer) error {
-		windows, err := analysis.DetectEvents(ev, d, 0.25, 3)
+		windows, err := an.DetectEvents(0.25, 3)
 		if err != nil {
 			return err
 		}
@@ -510,7 +512,7 @@ func main() {
 		return nil
 	})
 	run("userimpact", "extension (§2.3/§5): end-user impact through caching resolvers", func(w io.Writer) error {
-		res, err := analysis.UserImpact(ev, analysis.DefaultUserImpactConfig(*seed))
+		res, err := an.UserImpact(analysis.DefaultUserImpactConfig(*seed))
 		if err != nil {
 			return err
 		}

@@ -42,9 +42,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	an := analysis.New(ev, d)
 
 	fmt.Println("\n=== K-Root site catchments over the two days (Figure 6b style) ===")
-	minis, err := analysis.Figure6(ev, d, 'K')
+	minis, err := an.Figure6('K')
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func main() {
 	}
 
 	fmt.Println("\n=== Where K-LHR / K-FRA clients went during event 1 (Figure 10) ===")
-	flows, err := analysis.Figure10(ev, d, 'K', []string{"LHR", "FRA"}, 0)
+	flows, err := an.Figure10('K', []string{"LHR", "FRA"}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func main() {
 	}
 
 	fmt.Println("\n=== RTT at the absorbing sites (Figure 7) ===")
-	rtts, err := analysis.Figure7(ev, d, 'K', []string{"AMS", "NRT"})
+	rtts, err := an.Figure7('K', []string{"AMS", "NRT"})
 	if err != nil {
 		log.Fatal(err)
 	}

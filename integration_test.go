@@ -24,7 +24,7 @@ func TestEndToEndHeadlines(t *testing.T) {
 	ev, d := benchWorld(t)
 
 	t.Run("Table2", func(t *testing.T) {
-		rows := analysis.Table2(ev, d)
+		rows := analysis.New(ev, d).Table2()
 		if len(rows) != 13 {
 			t.Fatalf("letters = %d", len(rows))
 		}
@@ -36,7 +36,7 @@ func TestEndToEndHeadlines(t *testing.T) {
 	})
 
 	t.Run("Table3Bounds", func(t *testing.T) {
-		res, err := analysis.Table3(ev, 0)
+		res, err := analysis.New(ev, d).Table3(0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +74,7 @@ func TestEndToEndHeadlines(t *testing.T) {
 	})
 
 	t.Run("AbsorberRTT", func(t *testing.T) {
-		series, err := analysis.Figure7(ev, d, 'K', []string{"AMS"})
+		series, err := analysis.New(ev, d).Figure7('K', []string{"AMS"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func TestEndToEndHeadlines(t *testing.T) {
 		dest := map[string]float64{}
 		total := 0
 		for evIdx := 0; evIdx < 2; evIdx++ {
-			flows, err := analysis.Figure10(ev, d, 'K', []string{"LHR", "FRA"}, evIdx)
+			flows, err := analysis.New(ev, d).Figure10('K', []string{"LHR", "FRA"}, evIdx)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -119,7 +119,7 @@ func TestEndToEndHeadlines(t *testing.T) {
 	})
 
 	t.Run("EventDetection", func(t *testing.T) {
-		windows, err := analysis.DetectEvents(ev, d, 0.25, 3)
+		windows, err := analysis.New(ev, d).DetectEvents(0.25, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,7 +151,7 @@ func TestEndToEndHeadlines(t *testing.T) {
 		cfg := analysis.DefaultUserImpactConfig(2)
 		cfg.Resolvers = 40
 		cfg.QueriesPerBin = 4
-		res, err := analysis.UserImpact(ev, cfg)
+		res, err := analysis.New(ev, d).UserImpact(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -162,7 +162,7 @@ func TestEndToEndHeadlines(t *testing.T) {
 	})
 
 	t.Run("CollateralNL", func(t *testing.T) {
-		for _, s := range analysis.Figure15(ev) {
+		for _, s := range analysis.New(ev, d).Figure15() {
 			min, _, _ := s.Min()
 			if min > 0.5 {
 				t.Errorf(".nl %s never collapsed (min %v)", s.Name, min)

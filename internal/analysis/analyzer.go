@@ -1,0 +1,21 @@
+package analysis
+
+import (
+	"github.com/rootevent/anycastddos/internal/atlas"
+	"github.com/rootevent/anycastddos/internal/core"
+)
+
+// Analyzer computes the paper's figures and tables from one completed
+// simulation and its measurement dataset. Construct it once with New and
+// call one method per experiment; methods are safe for concurrent use (the
+// evaluator and dataset are only read).
+type Analyzer struct {
+	ev *core.Evaluator
+	d  *atlas.Dataset
+}
+
+// New returns an Analyzer over a completed evaluator run and the dataset
+// its Measure produced.
+func New(ev *core.Evaluator, d *atlas.Dataset) *Analyzer {
+	return &Analyzer{ev: ev, d: d}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+// The free functions below predate the Analyzer and survive one release as
+// thin wrappers so existing callers keep compiling. Each one builds a
+// throwaway Analyzer per call; migrate by constructing analysis.New(ev, d)
+// once and calling the method of the same name (see the package doc).
+
+import (
+	"github.com/rootevent/anycastddos/internal/atlas"
+	"github.com/rootevent/anycastddos/internal/core"
+	"github.com/rootevent/anycastddos/internal/stats"
+)
+
+// Figure3 computes per-letter success series.
+//
+// Deprecated: use New(ev, d).Figure3.
+func Figure3(ev *core.Evaluator, d *atlas.Dataset) (map[byte]*stats.Series, error) {
+	return New(ev, d).Figure3()
+}
+
+// Figure4 computes per-letter median-RTT series.
+//
+// Deprecated: use New(ev, d).Figure4.
+func Figure4(ev *core.Evaluator, d *atlas.Dataset) (map[byte]*stats.Series, error) {
+	return New(ev, d).Figure4()
+}
+
+// Figure5 computes per-site catchment swings for one letter.
+//
+// Deprecated: use New(ev, d).Figure5.
+func Figure5(ev *core.Evaluator, d *atlas.Dataset, letter byte) ([]Figure5Row, error) {
+	return New(ev, d).Figure5(letter)
+}
+
+// Figure6 computes per-site catchment dynamics for one letter.
+//
+// Deprecated: use New(ev, d).Figure6.
+func Figure6(ev *core.Evaluator, d *atlas.Dataset, letter byte) ([]Figure6Site, error) {
+	return New(ev, d).Figure6(letter)
+}
+
+// Figure7 computes median-RTT series for selected sites.
+//
+// Deprecated: use New(ev, d).Figure7.
+func Figure7(ev *core.Evaluator, d *atlas.Dataset, letter byte, codes []string) (map[string]*stats.Series, error) {
+	return New(ev, d).Figure7(letter, codes)
+}
+
+// Figure8 counts site flips per letter per bin.
+//
+// Deprecated: use New(ev, d).Figure8.
+func Figure8(ev *core.Evaluator, d *atlas.Dataset) (map[byte]*stats.Series, error) {
+	return New(ev, d).Figure8()
+}
+
+// Figure9 returns per-letter BGP route-change series.
+//
+// Deprecated: use New(ev, d).Figure9.
+func Figure9(ev *core.Evaluator) map[byte]*stats.Series {
+	return New(ev, nil).Figure9()
+}
+
+// Figure10 computes flip flows out of the given sites during an event.
+//
+// Deprecated: use New(ev, d).Figure10.
+func Figure10(ev *core.Evaluator, d *atlas.Dataset, letter byte, codes []string, eventIdx int) ([]FlipFlow, error) {
+	return New(ev, d).Figure10(letter, codes, eventIdx)
+}
+
+// Figure11 renders the per-probe site raster for sampled VPs.
+//
+// Deprecated: use New(ev, d).Figure11.
+func Figure11(ev *core.Evaluator, d *atlas.Dataset, letter byte, home1, home2, overflow string, maxVPs int) ([]RasterRow, error) {
+	return New(ev, d).Figure11(letter, home1, home2, overflow, maxVPs)
+}
+
+// FigureServers derives per-server reachability/RTT for a site.
+//
+// Deprecated: use New(ev, d).FigureServers.
+func FigureServers(ev *core.Evaluator, d *atlas.Dataset, letter byte, code string) ([]ServerSeries, error) {
+	return New(ev, d).FigureServers(letter, code)
+}
+
+// Figure14 finds collateral-damage sites at an unattacked letter.
+//
+// Deprecated: use New(ev, d).Figure14.
+func Figure14(ev *core.Evaluator, d *atlas.Dataset, letter byte, minDip float64) ([]Figure14Site, error) {
+	return New(ev, d).Figure14(letter, minDip)
+}
+
+// Figure15 returns the .nl collateral series.
+//
+// Deprecated: use New(ev, d).Figure15.
+func Figure15(ev *core.Evaluator) []*stats.Series {
+	return New(ev, nil).Figure15()
+}
+
+// Table2 reproduces reported architecture vs. observed sites.
+//
+// Deprecated: use New(ev, d).Table2.
+func Table2(ev *core.Evaluator, d *atlas.Dataset) []Table2Row {
+	return New(ev, d).Table2()
+}
+
+// Table3 reproduces the §3.1 event-size estimates.
+//
+// Deprecated: use New(ev, d).Table3.
+func Table3(ev *core.Evaluator, eventIdx int) (*Table3Result, error) {
+	return New(ev, nil).Table3(eventIdx)
+}
+
+// SiteCorrelation computes the sites-vs-reachability correlation.
+//
+// Deprecated: use New(ev, d).SiteCorrelation.
+func SiteCorrelation(ev *core.Evaluator, d *atlas.Dataset) (*SiteCorrelationResult, error) {
+	return New(ev, d).SiteCorrelation()
+}
+
+// LetterFlips measures failover load at an unattacked letter.
+//
+// Deprecated: use New(ev, d).LetterFlips.
+func LetterFlips(ev *core.Evaluator, letter byte) (*LetterFlipsResult, error) {
+	return New(ev, nil).LetterFlips(letter)
+}
+
+// DNSMON computes the dashboard availability table.
+//
+// Deprecated: use New(ev, d).DNSMON.
+func DNSMON(ev *core.Evaluator, d *atlas.Dataset) ([]DNSMONRow, error) {
+	return New(ev, d).DNSMON()
+}
+
+// DetectEvents finds attack windows from the measurement data alone.
+//
+// Deprecated: use New(ev, d).DetectEvents.
+func DetectEvents(ev *core.Evaluator, d *atlas.Dataset, drop float64, minLetters int) ([]EventWindow, error) {
+	return New(ev, d).DetectEvents(drop, minLetters)
+}
+
+// ValidateCatchments cross-validates CHAOS catchments against traces.
+//
+// Deprecated: use New(ev, d).ValidateCatchments.
+func ValidateCatchments(ev *core.Evaluator, d *atlas.Dataset, letter byte, bin int) (*CatchmentValidationResult, error) {
+	return New(ev, d).ValidateCatchments(letter, bin)
+}
+
+// CatchmentOptimality measures anycast routing inefficiency.
+//
+// Deprecated: use New(ev, d).CatchmentOptimality.
+func CatchmentOptimality(ev *core.Evaluator, d *atlas.Dataset, letter byte, minute int) (*OptimalityResult, error) {
+	return New(ev, d).CatchmentOptimality(letter, minute)
+}
+
+// UserImpact runs a resolver population against the completed simulation.
+//
+// Deprecated: use New(ev, d).UserImpact.
+func UserImpact(ev *core.Evaluator, cfg UserImpactConfig) (*UserImpactResult, error) {
+	return New(ev, nil).UserImpact(cfg)
+}

@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"github.com/rootevent/anycastddos/internal/atlas"
 	"github.com/rootevent/anycastddos/internal/attack"
-	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/stats"
 )
 
@@ -23,7 +21,8 @@ type DNSMONRow struct {
 }
 
 // DNSMON computes the dashboard table from the dataset.
-func DNSMON(ev *core.Evaluator, d *atlas.Dataset) ([]DNSMONRow, error) {
+func (a *Analyzer) DNSMON() ([]DNSMONRow, error) {
+	ev, d := a.ev, a.d
 	var rows []DNSMONRow
 	for _, lb := range ev.Deployment.SortedLetters() {
 		if lb == 'A' {
@@ -84,7 +83,8 @@ type EventWindow struct {
 // median, and merging bins where at least minLetters letters are flagged.
 // The paper takes the windows from operator reports; this detector shows
 // they are recoverable from the public measurements.
-func DetectEvents(ev *core.Evaluator, d *atlas.Dataset, drop float64, minLetters int) ([]EventWindow, error) {
+func (a *Analyzer) DetectEvents(drop float64, minLetters int) ([]EventWindow, error) {
+	ev, d := a.ev, a.d
 	if drop <= 0 || drop >= 1 || minLetters < 1 {
 		return nil, fmt.Errorf("analysis: bad detector parameters drop=%v minLetters=%d", drop, minLetters)
 	}

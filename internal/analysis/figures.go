@@ -5,23 +5,22 @@ import (
 
 	"github.com/rootevent/anycastddos/internal/atlas"
 	"github.com/rootevent/anycastddos/internal/attack"
-	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/stats"
 )
 
 // Figure3 returns per-letter series of VPs with successful queries in
 // 10-minute bins. A-Root, probed every 30 minutes, is rescaled by the
 // cadence ratio so its curve is comparable, as the paper does.
-func Figure3(ev *core.Evaluator, d *atlas.Dataset) (map[byte]*stats.Series, error) {
+func (a *Analyzer) Figure3() (map[byte]*stats.Series, error) {
 	out := make(map[byte]*stats.Series)
-	for _, lb := range ev.Deployment.SortedLetters() {
-		s, err := d.SuccessSeries(lb)
+	for _, lb := range a.ev.Deployment.SortedLetters() {
+		s, err := a.d.SuccessSeries(lb)
 		if err != nil {
 			return nil, err
 		}
 		if lb == 'A' {
 			// Only ~BinMinutes/30 of VPs probe A inside any bin.
-			scale := 30.0 / float64(d.BinMinutes)
+			scale := 30.0 / float64(a.d.BinMinutes)
 			s, err = s.Normalize(1 / scale)
 			if err != nil {
 				return nil, err
@@ -33,13 +32,13 @@ func Figure3(ev *core.Evaluator, d *atlas.Dataset) (map[byte]*stats.Series, erro
 }
 
 // Figure4 returns per-letter median RTT series for successful queries.
-func Figure4(ev *core.Evaluator, d *atlas.Dataset) (map[byte]*stats.Series, error) {
+func (a *Analyzer) Figure4() (map[byte]*stats.Series, error) {
 	out := make(map[byte]*stats.Series)
-	for _, lb := range ev.Deployment.SortedLetters() {
+	for _, lb := range a.ev.Deployment.SortedLetters() {
 		if lb == 'A' {
 			continue // probed too rarely for RTT dynamics
 		}
-		s, err := d.MedianRTTSeries(lb)
+		s, err := a.d.MedianRTTSeries(lb)
 		if err != nil {
 			return nil, err
 		}
@@ -64,18 +63,18 @@ const StableVPThreshold = 20
 
 // Figure5 computes min/max catchment sizes normalized to the median for
 // every site of a letter, ordered by median (Figure 5 shows E and K).
-func Figure5(ev *core.Evaluator, d *atlas.Dataset, letter byte) ([]Figure5Row, error) {
-	sites := ev.LetterSites(letter)
+func (a *Analyzer) Figure5(letter byte) ([]Figure5Row, error) {
+	sites := a.ev.LetterSites(letter)
 	if sites == nil {
 		return nil, fmt.Errorf("analysis: unknown letter %c", letter)
 	}
-	order, medians, err := sortedSiteIndexesByMedian(d, letter, len(sites))
+	order, medians, err := sortedSiteIndexesByMedian(a.d, letter, len(sites))
 	if err != nil {
 		return nil, err
 	}
 	var rows []Figure5Row
 	for _, si := range order {
-		s, err := d.SiteSeries(letter, si)
+		s, err := a.d.SiteSeries(letter, si)
 		if err != nil {
 			return nil, err
 		}
@@ -109,18 +108,18 @@ type Figure6Site struct {
 
 // Figure6 returns the per-site catchment dynamics for one letter, ordered
 // by median.
-func Figure6(ev *core.Evaluator, d *atlas.Dataset, letter byte) ([]Figure6Site, error) {
-	sites := ev.LetterSites(letter)
+func (a *Analyzer) Figure6(letter byte) ([]Figure6Site, error) {
+	sites := a.ev.LetterSites(letter)
 	if sites == nil {
 		return nil, fmt.Errorf("analysis: unknown letter %c", letter)
 	}
-	order, medians, err := sortedSiteIndexesByMedian(d, letter, len(sites))
+	order, medians, err := sortedSiteIndexesByMedian(a.d, letter, len(sites))
 	if err != nil {
 		return nil, err
 	}
 	var out []Figure6Site
 	for _, si := range order {
-		s, err := d.SiteSeries(letter, si)
+		s, err := a.d.SiteSeries(letter, si)
 		if err != nil {
 			return nil, err
 		}
@@ -146,8 +145,8 @@ func Figure6(ev *core.Evaluator, d *atlas.Dataset, letter byte) ([]Figure6Site, 
 
 // Figure7 returns median-RTT series for the selected K-Root sites the
 // paper highlights (AMS, NRT, LHR, FRA), keyed by site name.
-func Figure7(ev *core.Evaluator, d *atlas.Dataset, letter byte, codes []string) (map[string]*stats.Series, error) {
-	l, ok := ev.Deployment.Letter(letter)
+func (a *Analyzer) Figure7(letter byte, codes []string) (map[string]*stats.Series, error) {
+	l, ok := a.ev.Deployment.Letter(letter)
 	if !ok {
 		return nil, fmt.Errorf("analysis: unknown letter %c", letter)
 	}
@@ -159,7 +158,7 @@ func Figure7(ev *core.Evaluator, d *atlas.Dataset, letter byte, codes []string) 
 		}
 		for si, s := range l.Sites {
 			if s == site {
-				series, err := d.SiteRTTSeries(letter, si)
+				series, err := a.d.SiteRTTSeries(letter, si)
 				if err != nil {
 					return nil, err
 				}
@@ -172,9 +171,10 @@ func Figure7(ev *core.Evaluator, d *atlas.Dataset, letter byte, codes []string) 
 
 // Figure8 counts site flips per letter per bin: a VP flips when its
 // resolved site differs from the previous bin (both successful).
-func Figure8(ev *core.Evaluator, d *atlas.Dataset) (map[byte]*stats.Series, error) {
+func (a *Analyzer) Figure8() (map[byte]*stats.Series, error) {
+	d := a.d
 	out := make(map[byte]*stats.Series)
-	for _, lb := range ev.Deployment.SortedLetters() {
+	for _, lb := range a.ev.Deployment.SortedLetters() {
 		if lb == 'A' {
 			continue
 		}
@@ -182,21 +182,25 @@ func Figure8(ev *core.Evaluator, d *atlas.Dataset) (map[byte]*stats.Series, erro
 			continue
 		}
 		s := stats.NewSeries(fmt.Sprintf("flips-%c", lb), d.StartMinute, d.BinMinutes, d.Bins)
-		d.EachVP(func(vp atlas.VPID) {
+		rows, err := d.Rows(lb)
+		if err != nil {
+			return nil, err
+		}
+		for rows.Next() {
+			status, site := rows.Status(), rows.Site()
 			prev := int16(atlas.NoSite)
 			havePrev := false
-			for b := 0; b < d.Bins; b++ {
-				obs, _ := d.At(lb, vp, b)
-				if obs.Status != atlas.OK {
+			for b, st := range status {
+				if st != atlas.OK {
 					continue
 				}
-				if havePrev && obs.Site != prev {
+				if havePrev && site[b] != prev {
 					s.Values[b]++
 				}
-				prev = obs.Site
+				prev = site[b]
 				havePrev = true
 			}
-		})
+		}
 		out[lb] = s
 	}
 	return out, nil
@@ -204,10 +208,10 @@ func Figure8(ev *core.Evaluator, d *atlas.Dataset) (map[byte]*stats.Series, erro
 
 // Figure9 returns BGP route-change series per letter from the collector
 // mesh.
-func Figure9(ev *core.Evaluator) map[byte]*stats.Series {
+func (a *Analyzer) Figure9() map[byte]*stats.Series {
 	out := make(map[byte]*stats.Series)
-	for _, lb := range ev.Deployment.SortedLetters() {
-		out[lb] = ev.Collector.UpdateSeries(lb, 0, 10, ev.Cfg.Minutes/10)
+	for _, lb := range a.ev.Deployment.SortedLetters() {
+		out[lb] = a.ev.Collector.UpdateSeries(lb, 0, 10, a.ev.Cfg.Minutes/10)
 	}
 	return out
 }
@@ -224,12 +228,13 @@ type FlipFlow struct {
 }
 
 // Figure10 computes flip flows out of the given sites during an event.
-func Figure10(ev *core.Evaluator, d *atlas.Dataset, letter byte, codes []string, eventIdx int) ([]FlipFlow, error) {
-	l, ok := ev.Deployment.Letter(letter)
+func (a *Analyzer) Figure10(letter byte, codes []string, eventIdx int) ([]FlipFlow, error) {
+	d := a.d
+	l, ok := a.ev.Deployment.Letter(letter)
 	if !ok {
 		return nil, fmt.Errorf("analysis: unknown letter %c", letter)
 	}
-	events := ev.Schedule().Events
+	events := a.ev.Schedule().Events
 	if eventIdx < 0 || eventIdx >= len(events) {
 		return nil, fmt.Errorf("analysis: bad event %d", eventIdx)
 	}
@@ -265,23 +270,26 @@ func Figure10(ev *core.Evaluator, d *atlas.Dataset, letter byte, codes []string,
 		}
 		flow := FlipFlow{FromSite: fmt.Sprintf("%c-%s", letter, code), Dest: map[string]float64{}}
 		returned := 0
-		d.EachVP(func(vp atlas.VPID) {
-			pre, _ := d.At(letter, vp, preBin)
-			if pre.Status != atlas.OK || int(pre.Site) != home {
-				return
+		rows, err := d.Rows(letter)
+		if err != nil {
+			return nil, err
+		}
+		for rows.Next() {
+			status, site := rows.Status(), rows.Site()
+			if status[preBin] != atlas.OK || int(site[preBin]) != home {
+				continue
 			}
 			// A mover spent at least one in-event bin at another site;
 			// its destination is where it spent the most bins (flaps
 			// can bounce VPs between sites within one event).
 			away := map[int16]int{}
 			for b := startBin; b <= endBin; b++ {
-				obs, _ := d.At(letter, vp, b)
-				if obs.Status == atlas.OK && int(obs.Site) != home {
-					away[obs.Site]++
+				if status[b] == atlas.OK && int(site[b]) != home {
+					away[site[b]]++
 				}
 			}
 			if len(away) == 0 {
-				return
+				continue
 			}
 			best, bestN := int16(-1), 0
 			for site, n := range away {
@@ -291,11 +299,10 @@ func Figure10(ev *core.Evaluator, d *atlas.Dataset, letter byte, codes []string,
 			}
 			flow.Movers++
 			flow.Dest[l.Sites[best].Name()]++
-			post, _ := d.At(letter, vp, postBin)
-			if post.Status == atlas.OK && int(post.Site) == home {
+			if status[postBin] == atlas.OK && int(site[postBin]) == home {
 				returned++
 			}
-		})
+		}
 		for k := range flow.Dest {
 			flow.Dest[k] /= float64(flow.Movers)
 		}
@@ -318,11 +325,12 @@ type RasterRow struct {
 // Figure11 samples VPs whose pre-event home is one of the two focus sites
 // and renders their per-probe site raster, as in the 300-VP panel of
 // Figure 11 (home1='L'/K-LHR, home2='F'/K-FRA, overflow='A'/K-AMS).
-func Figure11(ev *core.Evaluator, d *atlas.Dataset, letter byte, home1, home2, overflow string, maxVPs int) ([]RasterRow, error) {
+func (a *Analyzer) Figure11(letter byte, home1, home2, overflow string, maxVPs int) ([]RasterRow, error) {
+	d := a.d
 	if !d.HasRaw(letter) {
 		return nil, fmt.Errorf("analysis: no raw data for %c", letter)
 	}
-	l, _ := ev.Deployment.Letter(letter)
+	l, _ := a.ev.Deployment.Letter(letter)
 	idx := func(code string) int16 {
 		for si, s := range l.Sites {
 			if s.Code == code {
@@ -337,37 +345,46 @@ func Figure11(ev *core.Evaluator, d *atlas.Dataset, letter byte, home1, home2, o
 	}
 	// Home = raw site shortly before the first event.
 	firstStart := attack.Event1Start
-	if evs := ev.Schedule().Events; len(evs) > 0 {
+	if evs := a.ev.Schedule().Events; len(evs) > 0 {
 		firstStart = evs[0].StartMinute
 	}
 	preRaw := (firstStart - 30) / d.RawBinMinutes
 	var rows []RasterRow
-	d.EachVP(func(vp atlas.VPID) {
+	if preRaw < 0 || preRaw >= d.RawBins {
+		return rows, nil
+	}
+	raw, err := d.RawRows(letter)
+	if err != nil {
+		return nil, err
+	}
+	for raw.Next() {
 		if len(rows) >= maxVPs {
-			return
+			break
 		}
-		pre, ok := d.RawAt(letter, vp, preRaw)
-		if !ok || pre.Status != atlas.OK || (pre.Site != h1 && pre.Site != h2) {
-			return
+		status := raw.Status()
+		if status[preRaw] != atlas.OK {
+			continue
 		}
-		row := RasterRow{VP: vp, Cells: make([]byte, d.RawBins)}
-		for rb := 0; rb < d.RawBins; rb++ {
-			obs, _ := d.RawAt(letter, vp, rb)
+		if pre := raw.Site(preRaw); pre != h1 && pre != h2 {
+			continue
+		}
+		row := RasterRow{VP: raw.VP(), Cells: make([]byte, d.RawBins)}
+		for rb := range status {
 			switch {
-			case obs.Status != atlas.OK:
+			case status[rb] != atlas.OK:
 				row.Cells[rb] = '.'
-			case obs.Site == h1:
+			case raw.Site(rb) == h1:
 				row.Cells[rb] = 'L'
-			case obs.Site == h2:
+			case raw.Site(rb) == h2:
 				row.Cells[rb] = 'F'
-			case obs.Site == ov:
+			case raw.Site(rb) == ov:
 				row.Cells[rb] = 'A'
 			default:
 				row.Cells[rb] = 'o'
 			}
 		}
 		rows = append(rows, row)
-	})
+	}
 	return rows, nil
 }
 
@@ -403,6 +420,12 @@ func (g RasterGroup) String() string {
 	default:
 		return fmt.Sprintf("RasterGroup(%d)", uint8(g))
 	}
+}
+
+// ClassifyRaster buckets raster rows into the §3.4.2 groups for the given
+// event of the analyzer's simulated schedule.
+func (a *Analyzer) ClassifyRaster(rows []RasterRow, eventIdx int) (map[RasterGroup]int, error) {
+	return ClassifyRaster(rows, a.d, a.ev.Schedule(), eventIdx)
 }
 
 // ClassifyRaster buckets raster rows into the §3.4.2 groups for one event
@@ -481,11 +504,12 @@ type ServerSeries struct {
 
 // FigureServers derives per-server reachability/RTT for a site from raw
 // probes.
-func FigureServers(ev *core.Evaluator, d *atlas.Dataset, letter byte, code string) ([]ServerSeries, error) {
+func (a *Analyzer) FigureServers(letter byte, code string) ([]ServerSeries, error) {
+	d := a.d
 	if !d.HasRaw(letter) {
 		return nil, fmt.Errorf("analysis: no raw data for %c", letter)
 	}
-	l, ok := ev.Deployment.Letter(letter)
+	l, ok := a.ev.Deployment.Letter(letter)
 	if !ok {
 		return nil, fmt.Errorf("analysis: unknown letter %c", letter)
 	}
@@ -510,13 +534,17 @@ func FigureServers(ev *core.Evaluator, d *atlas.Dataset, letter byte, code strin
 	if rawPerBin < 1 {
 		rawPerBin = 1
 	}
-	d.EachVP(func(vp atlas.VPID) {
-		for rb := 0; rb < d.RawBins; rb++ {
-			obs, _ := d.RawAt(letter, vp, rb)
-			if obs.Status != atlas.OK || obs.Site != siteIdx {
+	raw, err := d.RawRows(letter)
+	if err != nil {
+		return nil, err
+	}
+	for raw.Next() {
+		status, rtt := raw.Status(), raw.RTT()
+		for rb, st := range status {
+			if st != atlas.OK || raw.Site(rb) != siteIdx {
 				continue
 			}
-			srv := int(obs.Server)
+			srv := int(raw.Server(rb))
 			if srv < 1 || srv > site.NumServers {
 				continue
 			}
@@ -525,9 +553,9 @@ func FigureServers(ev *core.Evaluator, d *atlas.Dataset, letter byte, code strin
 				continue
 			}
 			perServerCounts[srv-1][b]++
-			perServerRTTs[srv-1][b] = append(perServerRTTs[srv-1][b], float64(obs.RTTms))
+			perServerRTTs[srv-1][b] = append(perServerRTTs[srv-1][b], float64(rtt[rb]))
 		}
-	})
+	}
 	var out []ServerSeries
 	for srv := 1; srv <= site.NumServers; srv++ {
 		ss := ServerSeries{
@@ -556,14 +584,14 @@ type Figure14Site struct {
 // Figure14 finds sites of an unattacked letter with >= 20 VPs whose
 // reachability dipped at least minDip during event windows (the paper uses
 // 10%), i.e. collateral damage.
-func Figure14(ev *core.Evaluator, d *atlas.Dataset, letter byte, minDip float64) ([]Figure14Site, error) {
-	sites := ev.LetterSites(letter)
+func (a *Analyzer) Figure14(letter byte, minDip float64) ([]Figure14Site, error) {
+	sites := a.ev.LetterSites(letter)
 	if sites == nil {
 		return nil, fmt.Errorf("analysis: unknown letter %c", letter)
 	}
 	var out []Figure14Site
 	for si := range sites {
-		s, err := d.SiteSeries(letter, si)
+		s, err := a.d.SiteSeries(letter, si)
 		if err != nil {
 			return nil, err
 		}
@@ -574,7 +602,7 @@ func Figure14(ev *core.Evaluator, d *atlas.Dataset, letter byte, minDip float64)
 		worst := 0.0
 		for b, v := range s.Values {
 			minute := s.MinuteFor(b)
-			if ev.Schedule().Active(minute) < 0 {
+			if a.ev.Schedule().Active(minute) < 0 {
 				continue
 			}
 			dip := (med - v) / med
@@ -593,6 +621,6 @@ func Figure14(ev *core.Evaluator, d *atlas.Dataset, letter byte, minDip float64)
 }
 
 // Figure15 returns the .nl collateral series (already normalized).
-func Figure15(ev *core.Evaluator) []*stats.Series {
-	return ev.NLSeries
+func (a *Analyzer) Figure15() []*stats.Series {
+	return a.ev.NLSeries
 }

@@ -1,7 +1,3 @@
-// Package analysis derives every table and figure of the paper's
-// evaluation (§3) from a completed simulation (core.Evaluator) and its
-// measurement dataset (atlas.Dataset). Each experiment has a Compute
-// function returning a plain-data result that internal/report renders.
 package analysis
 
 import (
@@ -10,7 +6,6 @@ import (
 
 	"github.com/rootevent/anycastddos/internal/atlas"
 	"github.com/rootevent/anycastddos/internal/attack"
-	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/rssac"
 	"github.com/rootevent/anycastddos/internal/stats"
 )
@@ -29,9 +24,10 @@ type Table2Row struct {
 
 // Table2 reproduces Table 2: reported architecture vs. sites observed
 // through CHAOS measurements.
-func Table2(ev *core.Evaluator, d *atlas.Dataset) []Table2Row {
+func (a *Analyzer) Table2() []Table2Row {
+	d := a.d
 	var rows []Table2Row
-	for _, l := range ev.Deployment.Letters {
+	for _, l := range a.ev.Deployment.Letters {
 		row := Table2Row{
 			Letter: l.Letter, Operator: l.Operator,
 			SitesReported: len(l.Sites),
@@ -45,13 +41,16 @@ func Table2(ev *core.Evaluator, d *atlas.Dataset) []Table2Row {
 			}
 		}
 		seen := map[int16]bool{}
-		d.EachVP(func(vp atlas.VPID) {
-			for b := 0; b < d.Bins; b++ {
-				if obs, ok := d.At(l.Letter, vp, b); ok && obs.Status == atlas.OK && obs.Site >= 0 {
-					seen[obs.Site] = true
+		if cur, err := d.Rows(l.Letter); err == nil {
+			for cur.Next() {
+				status, site := cur.Status(), cur.Site()
+				for b, st := range status {
+					if st == atlas.OK && site[b] >= 0 {
+						seen[site[b]] = true
+					}
 				}
 			}
-		})
+		}
 		row.SitesObserved = len(seen)
 		rows = append(rows, row)
 	}
@@ -92,7 +91,8 @@ type Table3Result struct {
 // against a 7-day baseline, a lower bound (sum of reporting letters), a
 // scaled bound (corrected for attacked letters that did not report), and an
 // upper bound assuming every attacked letter received A-Root's load.
-func Table3(ev *core.Evaluator, eventIdx int) (*Table3Result, error) {
+func (a *Analyzer) Table3(eventIdx int) (*Table3Result, error) {
+	ev := a.ev
 	events := ev.Schedule().Events
 	if eventIdx < 0 || eventIdx >= len(events) {
 		return nil, fmt.Errorf("analysis: event %d out of range", eventIdx)
@@ -188,7 +188,8 @@ type SiteCorrelationResult struct {
 // SiteCorrelation computes the correlation the paper reports as R² = 0.87:
 // letters with more sites retain more responding VPs at their worst moment.
 // A-Root is excluded (probed too rarely), as in the paper.
-func SiteCorrelation(ev *core.Evaluator, d *atlas.Dataset) (*SiteCorrelationResult, error) {
+func (a *Analyzer) SiteCorrelation() (*SiteCorrelationResult, error) {
+	ev, d := a.ev, a.d
 	res := &SiteCorrelationResult{}
 	for _, l := range ev.Deployment.Letters {
 		if l.Letter == 'A' {
@@ -239,7 +240,8 @@ type LetterFlipsResult struct {
 }
 
 // LetterFlips measures failover load at an unattacked letter (default L).
-func LetterFlips(ev *core.Evaluator, letter byte) (*LetterFlipsResult, error) {
+func (a *Analyzer) LetterFlips(letter byte) (*LetterFlipsResult, error) {
+	ev := a.ev
 	l, ok := ev.Deployment.Letter(letter)
 	if !ok {
 		return nil, fmt.Errorf("analysis: unknown letter %c", letter)

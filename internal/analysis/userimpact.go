@@ -58,7 +58,8 @@ type UserImpactResult struct {
 }
 
 // UserImpact runs a resolver population against the completed simulation.
-func UserImpact(ev *core.Evaluator, cfg UserImpactConfig) (*UserImpactResult, error) {
+func (a *Analyzer) UserImpact(cfg UserImpactConfig) (*UserImpactResult, error) {
+	ev := a.ev
 	if cfg.Resolvers < 1 || cfg.QueriesPerBin < 1 || cfg.Domains < 1 {
 		return nil, fmt.Errorf("analysis: invalid user-impact config %+v", cfg)
 	}

@@ -5,7 +5,6 @@ import (
 
 	"github.com/rootevent/anycastddos/internal/atlas"
 	"github.com/rootevent/anycastddos/internal/bgpsim"
-	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/stats"
 )
 
@@ -36,7 +35,8 @@ func (r *CatchmentValidationResult) AgreementFrac() float64 {
 // ValidateCatchments compares each clean VP's CHAOS-derived site (from the
 // dataset, at a quiet bin) against the forwarding trace through the routing
 // tables at the same time.
-func ValidateCatchments(ev *core.Evaluator, d *atlas.Dataset, letter byte, bin int) (*CatchmentValidationResult, error) {
+func (a *Analyzer) ValidateCatchments(letter byte, bin int) (*CatchmentValidationResult, error) {
+	ev, d := a.ev, a.d
 	if !d.HasLetter(letter) {
 		return nil, fmt.Errorf("analysis: letter %c not in dataset", letter)
 	}
@@ -45,6 +45,13 @@ func ValidateCatchments(ev *core.Evaluator, d *atlas.Dataset, letter byte, bin i
 	}
 	minute := d.StartMinute + bin*d.BinMinutes
 	res := &CatchmentValidationResult{}
+	// The cursor walks clean VPs in ascending VPID order, the same order
+	// the population stores them, so one pass over both suffices.
+	rows, err := d.Rows(letter)
+	if err != nil {
+		return nil, err
+	}
+	have := rows.Next()
 	for i := range ev.Population.VPs {
 		vp := &ev.Population.VPs[i]
 		if d.Excluded[vp.ID] {
@@ -53,8 +60,15 @@ func ValidateCatchments(ev *core.Evaluator, d *atlas.Dataset, letter byte, bin i
 			}
 			continue
 		}
-		obs, ok := d.At(letter, vp.ID, bin)
-		if !ok || obs.Status != atlas.OK || obs.Site < 0 {
+		for have && rows.VP() < vp.ID {
+			have = rows.Next()
+		}
+		if !have || rows.VP() != vp.ID {
+			res.NoResponse++
+			continue
+		}
+		st, site := rows.Status()[bin], rows.Site()[bin]
+		if st != atlas.OK || site < 0 {
 			res.NoResponse++
 			continue
 		}
@@ -64,7 +78,7 @@ func ValidateCatchments(ev *core.Evaluator, d *atlas.Dataset, letter byte, bin i
 			continue
 		}
 		res.Compared++
-		if traced == int(obs.Site) {
+		if traced == int(site) {
 			res.Agree++
 		} else {
 			res.Disagree++
@@ -88,7 +102,8 @@ type OptimalityResult struct {
 
 // CatchmentOptimality measures, at a quiet minute, each clean VP's chosen
 // site RTT against the best announced site.
-func CatchmentOptimality(ev *core.Evaluator, d *atlas.Dataset, letter byte, minute int) (*OptimalityResult, error) {
+func (a *Analyzer) CatchmentOptimality(letter byte, minute int) (*OptimalityResult, error) {
+	ev, d := a.ev, a.d
 	l, ok := ev.Deployment.Letter(letter)
 	if !ok {
 		return nil, fmt.Errorf("analysis: unknown letter %c", letter)

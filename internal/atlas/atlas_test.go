@@ -339,13 +339,42 @@ func TestStatusString(t *testing.T) {
 }
 
 func TestClampRTT(t *testing.T) {
+	d := NewDataset([]byte("K"), nil, 1, 0, 10, 1, 4)
 	for _, tt := range []struct {
 		in   float64
 		want uint16
-	}{{-5, 0}, {0, 0}, {100.7, 100}, {70000, 65535}} {
-		if got := clampRTT(tt.in); got != tt.want {
+	}{{-5, 0}, {0, 0}, {100.7, 100}, {70000, RTTOverflowMs}} {
+		if got := d.clampRTT(tt.in); got != tt.want {
 			t.Errorf("clampRTT(%v) = %d, want %d", tt.in, got, tt.want)
 		}
+	}
+	if got := d.RTTOverflowCount(); got != 1 {
+		t.Errorf("RTTOverflowCount = %d, want 1 (only the 70000 ms probe saturates)", got)
+	}
+}
+
+// TestRTTOverflowRecorded is the regression test for the silent-saturation
+// fix: an out-of-range RTT must be stored as the RTTOverflowMs sentinel AND
+// surface in RTTOverflowCount, instead of masquerading as a plausible
+// measurement.
+func TestRTTOverflowRecorded(t *testing.T) {
+	d := NewDataset([]byte("K"), []byte("K"), 1, 0, 10, 1, 4)
+	d.record(0, 'K', 0, 2, 1, OK, 123456)
+	if got := d.RTTOverflowCount(); got != 2 {
+		t.Errorf("RTTOverflowCount = %d, want 2 (raw cell + binned cell)", got)
+	}
+	obs, ok := d.At('K', 0, 0)
+	if !ok || obs.RTTms != RTTOverflowMs {
+		t.Errorf("binned RTT = %d (ok=%v), want sentinel %d", obs.RTTms, ok, uint16(RTTOverflowMs))
+	}
+	raw, ok := d.RawAt('K', 0, 0)
+	if !ok || raw.RTTms != RTTOverflowMs {
+		t.Errorf("raw RTT = %d (ok=%v), want sentinel %d", raw.RTTms, ok, uint16(RTTOverflowMs))
+	}
+	// A normal in-range probe must not bump the counter.
+	d.record(0, 'K', 1, 2, 1, OK, 30)
+	if got := d.RTTOverflowCount(); got != 2 {
+		t.Errorf("RTTOverflowCount after in-range probe = %d, want 2", got)
 	}
 }
 

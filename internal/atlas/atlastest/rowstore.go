@@ -1,0 +1,375 @@
+// Package atlastest holds the seed's row-shaped measurement store as a
+// reference implementation for equivalence testing. RowDataset is a verbatim
+// copy of the original array-of-structs Dataset — record precedence, series
+// math, and the ATLDS001 codec included — and RunCampaign is the seed's
+// sequential campaign loop over it. Tests at two scales pin the production
+// columnar store to this reference: internal/atlas proves cell-level
+// equivalence on a scripted world, and the root-level replay test proves
+// byte-identical output on the full 9k-VP pipeline, with and without fault
+// plans, at 1 and 4 workers.
+//
+// Nothing in this package is used by production code; it exists so the row
+// reference can be shared by test files in different packages without
+// copying it.
+package atlastest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/rootevent/anycastddos/internal/atlas"
+	"github.com/rootevent/anycastddos/internal/chaos"
+	"github.com/rootevent/anycastddos/internal/stats"
+)
+
+// rowMagic is the ATLDS001 file signature, duplicated from the atlas
+// package's unexported writer so the reference codec stands alone.
+var rowMagic = [8]byte{'A', 'T', 'L', 'D', 'S', '0', '0', '1'}
+
+type rowBinObs struct {
+	Site   int16
+	Status atlas.Status
+	RTTms  uint16
+}
+
+type rowRawObs struct {
+	Site   int16
+	Server int8
+	Status atlas.Status
+	RTTms  uint16
+}
+
+// RowDataset is the seed's array-of-structs measurement store.
+type RowDataset struct {
+	startMinute, binMinutes, bins int
+	rawBinMinutes, rawBins        int
+
+	letters   []byte
+	letterIdx map[byte]int
+
+	numVPs         int
+	excluded       []bool
+	excludedReason []string
+
+	binned [][]rowBinObs
+	raw    map[byte][]rowRawObs
+}
+
+// NewRowDataset mirrors atlas.NewDataset over the row store.
+func NewRowDataset(letters, rawLetters []byte, numVPs, startMinute, binMinutes, bins, rawBinMinutes int) *RowDataset {
+	d := &RowDataset{
+		startMinute:    startMinute,
+		binMinutes:     binMinutes,
+		bins:           bins,
+		rawBinMinutes:  rawBinMinutes,
+		rawBins:        bins * binMinutes / rawBinMinutes,
+		letters:        append([]byte(nil), letters...),
+		letterIdx:      make(map[byte]int, len(letters)),
+		numVPs:         numVPs,
+		excluded:       make([]bool, numVPs),
+		excludedReason: make([]string, numVPs),
+		raw:            make(map[byte][]rowRawObs),
+	}
+	d.binned = make([][]rowBinObs, len(letters))
+	for i, l := range letters {
+		d.letterIdx[l] = i
+		cells := make([]rowBinObs, numVPs*bins)
+		for j := range cells {
+			cells[j].Site = atlas.NoSite
+		}
+		d.binned[i] = cells
+	}
+	for _, l := range rawLetters {
+		if _, ok := d.letterIdx[l]; !ok {
+			continue
+		}
+		cells := make([]rowRawObs, numVPs*d.rawBins)
+		for j := range cells {
+			cells[j].Site = atlas.NoSite
+		}
+		d.raw[l] = cells
+	}
+	return d
+}
+
+func (d *RowDataset) bin(minute int) int {
+	if minute < d.startMinute {
+		return -1
+	}
+	i := (minute - d.startMinute) / d.binMinutes
+	if i >= d.bins {
+		return -1
+	}
+	return i
+}
+
+func (d *RowDataset) rawBin(minute int) int {
+	if minute < d.startMinute {
+		return -1
+	}
+	i := (minute - d.startMinute) / d.rawBinMinutes
+	if i >= d.rawBins {
+		return -1
+	}
+	return i
+}
+
+// rowClampRTT is the seed's saturating clamp (pre overflow-counter).
+func rowClampRTT(ms float64) uint16 {
+	if ms < 0 {
+		return 0
+	}
+	if ms > 65535 {
+		return 65535
+	}
+	return uint16(ms)
+}
+
+// Record applies the seed's binned-cell precedence: OK beats RCodeErr beats
+// Timeout; repeated OKs average the clamped RTTs.
+func (d *RowDataset) Record(vp atlas.VPID, letter byte, minute int, site, server int, status atlas.Status, rttMs float64) {
+	li, ok := d.letterIdx[letter]
+	if !ok {
+		return
+	}
+	if raw, ok := d.raw[letter]; ok {
+		if rb := d.rawBin(minute); rb >= 0 {
+			cell := &raw[int(vp)*d.rawBins+rb]
+			cell.Status = status
+			cell.Site = int16(site)
+			cell.Server = int8(server)
+			cell.RTTms = rowClampRTT(rttMs)
+		}
+	}
+	b := d.bin(minute)
+	if b < 0 {
+		return
+	}
+	cell := &d.binned[li][int(vp)*d.bins+b]
+	switch status {
+	case atlas.OK:
+		if cell.Status == atlas.OK {
+			cell.RTTms = uint16((uint32(cell.RTTms) + uint32(rowClampRTT(rttMs))) / 2)
+		} else {
+			cell.Status = atlas.OK
+			cell.RTTms = rowClampRTT(rttMs)
+		}
+		cell.Site = int16(site)
+	case atlas.RCodeErr:
+		if cell.Status != atlas.OK {
+			cell.Status = atlas.RCodeErr
+			cell.Site = atlas.NoSite
+		}
+	case atlas.Timeout:
+		if cell.Status == atlas.NoData {
+			cell.Status = atlas.Timeout
+			cell.Site = atlas.NoSite
+		}
+	}
+}
+
+// Exclude drops a VP from every series with the given reason.
+func (d *RowDataset) Exclude(vp atlas.VPID, reason string) {
+	if int(vp) < len(d.excluded) {
+		d.excluded[vp] = true
+		d.excludedReason[vp] = reason
+	}
+}
+
+// Excluded reports whether the VP was cleaned out of the dataset.
+func (d *RowDataset) Excluded(vp atlas.VPID) bool {
+	return int(vp) < len(d.excluded) && d.excluded[vp]
+}
+
+// SuccessSeries counts OK cells per bin across non-excluded VPs.
+func (d *RowDataset) SuccessSeries(letter byte) *stats.Series {
+	li := d.letterIdx[letter]
+	s := stats.NewSeries(fmt.Sprintf("vps-ok-%c", letter), d.startMinute, d.binMinutes, d.bins)
+	for vp := 0; vp < d.numVPs; vp++ {
+		if d.excluded[vp] {
+			continue
+		}
+		row := d.binned[li][vp*d.bins : (vp+1)*d.bins]
+		for b, cell := range row {
+			if cell.Status == atlas.OK {
+				s.Values[b]++
+			}
+		}
+	}
+	return s
+}
+
+// MedianRTTSeries is the per-bin median RTT across OK cells.
+func (d *RowDataset) MedianRTTSeries(letter byte) *stats.Series {
+	li := d.letterIdx[letter]
+	perBin := make([][]float64, d.bins)
+	for vp := 0; vp < d.numVPs; vp++ {
+		if d.excluded[vp] {
+			continue
+		}
+		row := d.binned[li][vp*d.bins : (vp+1)*d.bins]
+		for b, cell := range row {
+			if cell.Status == atlas.OK {
+				perBin[b] = append(perBin[b], float64(cell.RTTms))
+			}
+		}
+	}
+	s := stats.NewSeries(fmt.Sprintf("rtt-median-%c", letter), d.startMinute, d.binMinutes, d.bins)
+	for b, xs := range perBin {
+		s.Values[b] = stats.Median(xs)
+	}
+	return s
+}
+
+// SiteSeries counts OK cells answered by one site per bin.
+func (d *RowDataset) SiteSeries(letter byte, site int) *stats.Series {
+	li := d.letterIdx[letter]
+	s := stats.NewSeries(fmt.Sprintf("vps-%c-site%d", letter, site), d.startMinute, d.binMinutes, d.bins)
+	for vp := 0; vp < d.numVPs; vp++ {
+		if d.excluded[vp] {
+			continue
+		}
+		row := d.binned[li][vp*d.bins : (vp+1)*d.bins]
+		for b, cell := range row {
+			if cell.Status == atlas.OK && int(cell.Site) == site {
+				s.Values[b]++
+			}
+		}
+	}
+	return s
+}
+
+// SiteRTTSeries is the per-bin median RTT across one site's OK cells.
+func (d *RowDataset) SiteRTTSeries(letter byte, site int) *stats.Series {
+	li := d.letterIdx[letter]
+	perBin := make([][]float64, d.bins)
+	for vp := 0; vp < d.numVPs; vp++ {
+		if d.excluded[vp] {
+			continue
+		}
+		row := d.binned[li][vp*d.bins : (vp+1)*d.bins]
+		for b, cell := range row {
+			if cell.Status == atlas.OK && int(cell.Site) == site {
+				perBin[b] = append(perBin[b], float64(cell.RTTms))
+			}
+		}
+	}
+	s := stats.NewSeries(fmt.Sprintf("rtt-%c-site%d", letter, site), d.startMinute, d.binMinutes, d.bins)
+	for b, xs := range perBin {
+		s.Values[b] = stats.Median(xs)
+	}
+	return s
+}
+
+// Save is the seed's ATLDS001 writer over the row store.
+func (d *RowDataset) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(rowMagic[:]); err != nil {
+		return err
+	}
+	writeU32 := func(v int) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	for _, v := range []int{d.startMinute, d.binMinutes, d.bins, d.rawBinMinutes, d.rawBins, d.numVPs, len(d.letters), len(d.raw)} {
+		if err := writeU32(v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(d.letters); err != nil {
+		return err
+	}
+	rawLetters := make([]byte, 0, len(d.raw))
+	for _, l := range d.letters {
+		if _, ok := d.raw[l]; ok {
+			rawLetters = append(rawLetters, l)
+		}
+	}
+	if _, err := bw.Write(rawLetters); err != nil {
+		return err
+	}
+	for vp := 0; vp < d.numVPs; vp++ {
+		flag := byte(0)
+		if d.excluded[vp] {
+			flag = 1
+		}
+		if err := bw.WriteByte(flag); err != nil {
+			return err
+		}
+		reason := d.excludedReason[vp]
+		if err := bw.WriteByte(byte(len(reason))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(reason); err != nil {
+			return err
+		}
+	}
+	var cell [5]byte
+	for li := range d.letters {
+		for _, obs := range d.binned[li] {
+			binary.LittleEndian.PutUint16(cell[0:], uint16(obs.Site))
+			cell[2] = byte(obs.Status)
+			binary.LittleEndian.PutUint16(cell[3:], obs.RTTms)
+			if _, err := bw.Write(cell[:]); err != nil {
+				return err
+			}
+		}
+	}
+	var rawCell [6]byte
+	for _, l := range rawLetters {
+		for _, obs := range d.raw[l] {
+			binary.LittleEndian.PutUint16(rawCell[0:], uint16(obs.Site))
+			rawCell[2] = byte(obs.Server)
+			rawCell[3] = byte(obs.Status)
+			binary.LittleEndian.PutUint16(rawCell[4:], obs.RTTms)
+			if _, err := bw.Write(rawCell[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RunCampaign is the seed's sequential campaign loop (runVP inlined) against
+// the row store: firmware and hijack cleaning, timeout conversion, and the
+// per-letter probe cadence all match atlas.Run.
+func RunCampaign(p *atlas.Population, w atlas.World, cfg atlas.ScheduleConfig) *RowDataset {
+	bins := cfg.Minutes / cfg.BinMinutes
+	d := NewRowDataset(cfg.Letters, cfg.RawLetters, p.N(), cfg.StartMinute, cfg.BinMinutes, bins, cfg.IntervalMin)
+	for i := range p.VPs {
+		vp := &p.VPs[i]
+		if vp.Firmware < atlas.MinFirmware {
+			d.Exclude(vp.ID, "firmware")
+			continue
+		}
+		hijackEvidence := false
+		for _, letter := range cfg.Letters {
+			interval := cfg.IntervalMin
+			if letter == 'A' && cfg.AIntervalMin > 0 {
+				interval = cfg.AIntervalMin
+			}
+			for minute := cfg.StartMinute + vp.Phase%interval; minute < cfg.StartMinute+cfg.Minutes; minute += interval {
+				out := w.ProbeOutcome(vp, letter, minute)
+				status := out.Status
+				if status == atlas.OK && out.RTTms >= atlas.AtlasTimeoutMs {
+					status = atlas.Timeout
+				}
+				if status == atlas.OK && out.ChaosTXT != "" && !chaos.Matches(letter, out.ChaosTXT) {
+					if out.RTTms < atlas.HijackRTTThresholdMs {
+						hijackEvidence = true
+					}
+					out.Site = atlas.NoSite
+				}
+				d.Record(vp.ID, letter, minute, out.Site, out.Server, status, out.RTTms)
+			}
+		}
+		if hijackEvidence {
+			d.Exclude(vp.ID, "hijack")
+		}
+	}
+	return d
+}

@@ -1,0 +1,79 @@
+package atlas
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/chaos"
+)
+
+// TestMillionVPCampaign is the 1M-VP smoke test for the columnar store: a
+// full Run over one letter with raw retention must complete with bounded
+// heap growth. At five bytes per binned cell plus six per in-flight raw
+// cell, the dataset below is ~220 MB of columns; the test allows 1 GiB of
+// headroom so it fails loudly if a per-row representation (or a per-probe
+// allocation) sneaks back in, while staying robust to GC timing.
+func TestMillionVPCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a 1M-VP dataset")
+	}
+	const numVPs = 1_000_000
+	p := &Population{VPs: make([]VP, numVPs)}
+	for i := range p.VPs {
+		p.VPs[i] = VP{ID: VPID(i), Firmware: 4700, Phase: i % 4}
+	}
+	txt := chaos.MustFormat('K', "AMS", 1)
+	w := &fakeWorld{fn: func(vp *VP, letter byte, minute int) Outcome {
+		if (int(vp.ID)+minute)%7 == 0 {
+			return Outcome{Status: Timeout}
+		}
+		return Outcome{Status: OK, Site: int(vp.ID) % 4, Server: 1,
+			RTTms: 20 + float64(minute%50), ChaosTXT: txt}
+	}}
+	cfg := ScheduleConfig{
+		Letters: []byte("K"), RawLetters: []byte("K"),
+		Minutes: 60, BinMinutes: 10, IntervalMin: 4,
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	d := Run(p, w, cfg)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	if d.NumVPs != numVPs || d.Bins != 6 {
+		t.Fatalf("dataset shape = %d VPs x %d bins", d.NumVPs, d.Bins)
+	}
+	ss, err := d.SuccessSeries('K')
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, v := range ss.Values {
+		// Roughly 1/7 of probes time out, but every VP probes each bin
+		// more than once and OK wins the bin, so well over 90% succeed.
+		if v < numVPs*9/10 {
+			t.Fatalf("bin %d: only %v/%d VPs OK", b, v, numVPs)
+		}
+	}
+	ms, err := d.MedianRTTSeries('K')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Values[0] <= 0 || ms.Values[0] >= 100 {
+		t.Fatalf("median RTT bin 0 = %v, want a plausible 20-70 ms", ms.Values[0])
+	}
+	if n := len(d.SiteServers()); n != 5 {
+		// Four sites x one server, plus the NoSite timeout identity.
+		t.Errorf("interned pairs = %d, want 5", n)
+	}
+
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	const limit = 1 << 30
+	t.Logf("1M-VP campaign: heap growth %.1f MiB (limit %d MiB)",
+		float64(growth)/(1<<20), limit>>20)
+	if growth > limit {
+		t.Fatalf("heap grew %.1f MiB, limit %d MiB: columnar memory bound broken",
+			float64(growth)/(1<<20), limit>>20)
+	}
+}

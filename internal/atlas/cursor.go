@@ -1,0 +1,130 @@
+package atlas
+
+import "fmt"
+
+// Rows is an allocation-free cursor over the binned columns of one letter.
+// Next advances to the next non-excluded VP and exposes that VP's cells as
+// direct column views of length Bins — no per-cell struct is built:
+//
+//	rows, err := d.Rows('K')
+//	for rows.Next() {
+//		status, site, rtt := rows.Status(), rows.Site(), rows.RTT()
+//		for b := range status { ... }
+//	}
+//
+// The views alias the dataset's storage and must not be modified. A Rows
+// value is only valid for the dataset that produced it; concurrent cursors
+// over one dataset are safe.
+type Rows struct {
+	d      *Dataset
+	li     int
+	vp     int
+	status []Status
+	site   []int16
+	rtt    []uint16
+}
+
+// Rows returns a cursor over the binned columns of one letter, positioned
+// before the first non-excluded VP.
+func (d *Dataset) Rows(letter byte) (Rows, error) {
+	li, ok := d.letterIdx[letter]
+	if !ok {
+		return Rows{}, fmt.Errorf("atlas: letter %c not in dataset", letter)
+	}
+	return Rows{d: d, li: li, vp: -1}, nil
+}
+
+// Next advances to the next non-excluded VP, returning false when the
+// population is exhausted.
+func (r *Rows) Next() bool {
+	for r.vp++; r.vp < r.d.NumVPs; r.vp++ {
+		if r.d.Excluded[r.vp] {
+			continue
+		}
+		lo := r.vp * r.d.Bins
+		hi := lo + r.d.Bins
+		r.status = r.d.binStatus[r.li][lo:hi]
+		r.site = r.d.binSite[r.li][lo:hi]
+		r.rtt = r.d.binRTT[r.li][lo:hi]
+		return true
+	}
+	return false
+}
+
+// VP returns the current VP's ID.
+func (r *Rows) VP() VPID { return VPID(r.vp) }
+
+// Status returns the current VP's per-bin status column view (length Bins).
+func (r *Rows) Status() []Status { return r.status }
+
+// Site returns the current VP's per-bin site column view (length Bins).
+// Entries are NoSite where no site was identified.
+func (r *Rows) Site() []int16 { return r.site }
+
+// RTT returns the current VP's per-bin mean-RTT column view (length Bins).
+// Entries are only meaningful where the status is OK; RTTOverflowMs marks a
+// saturated measurement.
+func (r *Rows) RTT() []uint16 { return r.rtt }
+
+// RawRows is the Rows counterpart for a letter's raw per-probe columns. The
+// (site, server) identity of a cell is resolved through the interned
+// SiteServer table when the dataset is sealed, or from the wide columns of
+// an unsealed in-progress dataset — callers see one API either way.
+type RawRows struct {
+	d      *Dataset
+	rc     *rawColumns
+	vp     int
+	lo     int
+	status []Status
+	rtt    []uint16
+}
+
+// RawRows returns a cursor over the raw columns of one raw-retained letter,
+// positioned before the first non-excluded VP.
+func (d *Dataset) RawRows(letter byte) (RawRows, error) {
+	rc, ok := d.raw[letter]
+	if !ok {
+		return RawRows{}, fmt.Errorf("atlas: no raw retention for letter %c", letter)
+	}
+	return RawRows{d: d, rc: rc, vp: -1}, nil
+}
+
+// Next advances to the next non-excluded VP, returning false when the
+// population is exhausted.
+func (r *RawRows) Next() bool {
+	for r.vp++; r.vp < r.d.NumVPs; r.vp++ {
+		if r.d.Excluded[r.vp] {
+			continue
+		}
+		r.lo = r.vp * r.d.RawBins
+		hi := r.lo + r.d.RawBins
+		r.status = r.rc.status[r.lo:hi]
+		r.rtt = r.rc.rtt[r.lo:hi]
+		return true
+	}
+	return false
+}
+
+// VP returns the current VP's ID.
+func (r *RawRows) VP() VPID { return VPID(r.vp) }
+
+// Status returns the current VP's per-raw-bin status column view (length
+// RawBins).
+func (r *RawRows) Status() []Status { return r.status }
+
+// RTT returns the current VP's per-raw-bin RTT column view (length RawBins).
+func (r *RawRows) RTT() []uint16 { return r.rtt }
+
+// Site returns the responding site of the current VP's raw bin rb, or
+// NoSite.
+func (r *RawRows) Site(rb int) int16 {
+	site, _ := r.rc.at(r.d.ssTable, r.lo+rb)
+	return site
+}
+
+// Server returns the 1-based responding server of the current VP's raw bin
+// rb, or 0 when unknown.
+func (r *RawRows) Server(rb int) int8 {
+	_, server := r.rc.at(r.d.ssTable, r.lo+rb)
+	return server
+}

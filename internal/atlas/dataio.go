@@ -13,6 +13,11 @@ import (
 // counterpart the same property: a compact, versioned binary format that
 // round-trips the cleaned corpus, so expensive simulations can be archived
 // and re-analyzed without re-running them.
+//
+// The on-disk format is row-shaped (one 5- or 6-byte record per cell) and
+// predates the columnar in-memory store; Save gathers each record from the
+// column slices and Load scatters them back, so the byte stream is identical
+// to what the original row store produced.
 
 // datasetMagic identifies the format and version.
 var datasetMagic = [8]byte{'A', 'T', 'L', 'D', 'S', '0', '0', '1'}
@@ -69,10 +74,11 @@ func (d *Dataset) Save(w io.Writer) error {
 	// Binned cells: site int16, status uint8, rtt uint16.
 	var cell [5]byte
 	for li := range d.Letters {
-		for _, obs := range d.binned[li] {
-			binary.LittleEndian.PutUint16(cell[0:], uint16(obs.Site))
-			cell[2] = byte(obs.Status)
-			binary.LittleEndian.PutUint16(cell[3:], obs.RTTms)
+		st, si, rt := d.binStatus[li], d.binSite[li], d.binRTT[li]
+		for j := range st {
+			binary.LittleEndian.PutUint16(cell[0:], uint16(si[j]))
+			cell[2] = byte(st[j])
+			binary.LittleEndian.PutUint16(cell[3:], rt[j])
 			if _, err := bw.Write(cell[:]); err != nil {
 				return err
 			}
@@ -81,11 +87,13 @@ func (d *Dataset) Save(w io.Writer) error {
 	// Raw cells: site int16, server int8, status uint8, rtt uint16.
 	var rawCell [6]byte
 	for _, l := range rawLetters {
-		for _, obs := range d.raw[l] {
-			binary.LittleEndian.PutUint16(rawCell[0:], uint16(obs.Site))
-			rawCell[2] = byte(obs.Server)
-			rawCell[3] = byte(obs.Status)
-			binary.LittleEndian.PutUint16(rawCell[4:], obs.RTTms)
+		rc := d.raw[l]
+		for j := range rc.status {
+			site, server := rc.at(d.ssTable, j)
+			binary.LittleEndian.PutUint16(rawCell[0:], uint16(site))
+			rawCell[2] = byte(server)
+			rawCell[3] = byte(rc.status[j])
+			binary.LittleEndian.PutUint16(rawCell[4:], rc.rtt[j])
 			if _, err := bw.Write(rawCell[:]); err != nil {
 				return err
 			}
@@ -94,7 +102,8 @@ func (d *Dataset) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// LoadDataset reads a dataset written by Save.
+// LoadDataset reads a dataset written by Save. The returned dataset is
+// sealed: raw (site, server) identities are interned.
 func LoadDataset(r io.Reader) (*Dataset, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
@@ -158,31 +167,29 @@ func LoadDataset(r io.Reader) (*Dataset, error) {
 	}
 	var cell [5]byte
 	for li := range letters {
-		for j := range d.binned[li] {
+		st, si, rt := d.binStatus[li], d.binSite[li], d.binRTT[li]
+		for j := range st {
 			if _, err := io.ReadFull(br, cell[:]); err != nil {
 				return nil, fmt.Errorf("atlas: dataset binned cells: %w", err)
 			}
-			d.binned[li][j] = BinObs{
-				Site:   int16(binary.LittleEndian.Uint16(cell[0:])),
-				Status: Status(cell[2]),
-				RTTms:  binary.LittleEndian.Uint16(cell[3:]),
-			}
+			si[j] = int16(binary.LittleEndian.Uint16(cell[0:]))
+			st[j] = Status(cell[2])
+			rt[j] = binary.LittleEndian.Uint16(cell[3:])
 		}
 	}
 	var rawCell [6]byte
 	for _, l := range rawLetters {
-		cells := d.raw[l]
-		for j := range cells {
+		rc := d.raw[l]
+		for j := range rc.status {
 			if _, err := io.ReadFull(br, rawCell[:]); err != nil {
 				return nil, fmt.Errorf("atlas: dataset raw cells: %w", err)
 			}
-			cells[j] = RawObs{
-				Site:   int16(binary.LittleEndian.Uint16(rawCell[0:])),
-				Server: int8(rawCell[2]),
-				Status: Status(rawCell[3]),
-				RTTms:  binary.LittleEndian.Uint16(rawCell[4:]),
-			}
+			rc.site[j] = int16(binary.LittleEndian.Uint16(rawCell[0:]))
+			rc.server[j] = int8(rawCell[2])
+			rc.status[j] = Status(rawCell[3])
+			rc.rtt[j] = binary.LittleEndian.Uint16(rawCell[4:])
 		}
 	}
+	d.Seal()
 	return d, nil
 }

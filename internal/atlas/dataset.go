@@ -2,6 +2,8 @@ package atlas
 
 import (
 	"fmt"
+	"slices"
+	"sync/atomic"
 
 	"github.com/rootevent/anycastddos/internal/stats"
 )
@@ -38,6 +40,15 @@ func (s Status) String() string {
 // NoSite marks a bin or probe that did not identify a site.
 const NoSite = -1
 
+// RTTOverflowMs is the sentinel stored when a probe RTT meets or exceeds the
+// uint16 millisecond ceiling. A stored value of RTTOverflowMs therefore means
+// "at least 65.5 s", not an exact measurement; Dataset.RTTOverflowCount
+// reports how many probes hit the ceiling so an implausible saturation no
+// longer masquerades as a real RTT. In practice the probe layer converts any
+// success slower than AtlasTimeoutMs into a Timeout first, so overflows only
+// appear when a World hands back pathological raw RTTs.
+const RTTOverflowMs = 65535
+
 // BinObs is the resolved observation of one VP for one letter in one
 // ten-minute bin.
 type BinObs struct {
@@ -55,7 +66,42 @@ type RawObs struct {
 	RTTms  uint16
 }
 
-// Dataset is the cleaned, binned measurement corpus for one simulation run.
+// SiteServer is one interned (site, server) identity pair from the raw
+// columns. Seal assigns dense IDs by ascending (Site, Server) order, so the
+// table is a pure function of the recorded cells — independent of worker
+// count or encounter order.
+type SiteServer struct {
+	Site   int16
+	Server int8
+}
+
+// rawColumns holds the per-probe retention for one letter as parallel
+// columns indexed vp*RawBins+rawBin. During a campaign the identity lives in
+// the wide site/server columns; Seal interns them into ids (2 bytes/cell via
+// the shared SiteServer table) and drops the wide columns.
+type rawColumns struct {
+	status []Status
+	rtt    []uint16
+	site   []int16 // until Seal
+	server []int8  // until Seal
+	ids    []uint16
+}
+
+// at returns the (site, server) identity of cell j, from either
+// representation.
+func (rc *rawColumns) at(table []SiteServer, j int) (int16, int8) {
+	if rc.ids != nil {
+		p := table[rc.ids[j]]
+		return p.Site, p.Server
+	}
+	return rc.site[j], rc.server[j]
+}
+
+// Dataset is the cleaned, binned measurement corpus for one simulation run,
+// stored struct-of-arrays: one dense column per field, indexed
+// [letter][vp*Bins+bin]. The columnar shape keeps a 1M-VP campaign to five
+// bytes per binned cell and lets every series/figure computation walk
+// contiguous slices without materializing per-row structs.
 type Dataset struct {
 	StartMinute int
 	BinMinutes  int
@@ -75,10 +121,20 @@ type Dataset struct {
 	// ExcludedReason maps a VP to why it was dropped ("" if kept).
 	ExcludedReason []string
 
-	// binned[letterIdx][vp*Bins+bin]
-	binned [][]BinObs
-	// raw[letter][vp*RawBins+rawBin], only for raw-retained letters.
-	raw map[byte][]RawObs
+	// Binned columns, one slice per letter, each indexed vp*Bins+bin.
+	binStatus [][]Status
+	binSite   [][]int16
+	binRTT    [][]uint16
+
+	// raw[letter] holds per-probe columns, only for raw-retained letters.
+	raw map[byte]*rawColumns
+	// ssTable maps interned raw IDs back to (site, server); built by Seal.
+	ssTable []SiteServer
+	sealed  bool
+
+	// rttOverflow counts probes whose RTT saturated at RTTOverflowMs.
+	// Updated atomically: VP shards record concurrently.
+	rttOverflow atomic.Uint64
 }
 
 // NewDataset allocates a dataset for the given letters and shape.
@@ -94,26 +150,36 @@ func NewDataset(letters []byte, rawLetters []byte, numVPs, startMinute, binMinut
 		NumVPs:         numVPs,
 		Excluded:       make([]bool, numVPs),
 		ExcludedReason: make([]string, numVPs),
-		raw:            make(map[byte][]RawObs),
+		raw:            make(map[byte]*rawColumns),
 	}
-	d.binned = make([][]BinObs, len(letters))
+	d.binStatus = make([][]Status, len(letters))
+	d.binSite = make([][]int16, len(letters))
+	d.binRTT = make([][]uint16, len(letters))
 	for i, l := range letters {
 		d.letterIdx[l] = i
-		cells := make([]BinObs, numVPs*bins)
-		for j := range cells {
-			cells[j].Site = NoSite
+		d.binStatus[i] = make([]Status, numVPs*bins)
+		d.binRTT[i] = make([]uint16, numVPs*bins)
+		sites := make([]int16, numVPs*bins)
+		for j := range sites {
+			sites[j] = NoSite
 		}
-		d.binned[i] = cells
+		d.binSite[i] = sites
 	}
 	for _, l := range rawLetters {
 		if _, ok := d.letterIdx[l]; !ok {
 			continue
 		}
-		cells := make([]RawObs, numVPs*d.RawBins)
-		for j := range cells {
-			cells[j].Site = NoSite
+		n := numVPs * d.RawBins
+		rc := &rawColumns{
+			status: make([]Status, n),
+			rtt:    make([]uint16, n),
+			site:   make([]int16, n),
+			server: make([]int8, n),
 		}
-		d.raw[l] = cells
+		for j := range rc.site {
+			rc.site[j] = NoSite
+		}
+		d.raw[l] = rc
 	}
 	return d
 }
@@ -154,60 +220,132 @@ func (d *Dataset) rawBin(minute int) int {
 	return i
 }
 
-// record folds one probe into the binned matrix (and the raw matrix when
+// record folds one probe into the binned columns (and the raw columns when
 // retained), applying the site>error>timeout precedence within each bin.
+// Probes stream straight into the columns as they happen; no per-row struct
+// is ever materialized. Must not be called after Seal.
 func (d *Dataset) record(vp VPID, letter byte, minute int, site int, server int, status Status, rttMs float64) {
 	li, ok := d.letterIdx[letter]
 	if !ok {
 		return
 	}
-	if raw, ok := d.raw[letter]; ok {
+	if rc, ok := d.raw[letter]; ok {
 		if rb := d.rawBin(minute); rb >= 0 {
-			cell := &raw[int(vp)*d.RawBins+rb]
+			i := int(vp)*d.RawBins + rb
 			// One probe per raw bin; last write wins.
-			cell.Status = status
-			cell.Site = int16(site)
-			cell.Server = int8(server)
-			cell.RTTms = clampRTT(rttMs)
+			rc.status[i] = status
+			rc.site[i] = int16(site)
+			rc.server[i] = int8(server)
+			rc.rtt[i] = d.clampRTT(rttMs)
 		}
 	}
 	b := d.bin(minute)
 	if b < 0 {
 		return
 	}
-	cell := &d.binned[li][int(vp)*d.Bins+b]
+	i := int(vp)*d.Bins + b
+	st := d.binStatus[li]
 	switch status {
 	case OK:
-		if cell.Status == OK {
+		if st[i] == OK {
 			// Average successive successful RTTs in the bin.
-			cell.RTTms = uint16((uint32(cell.RTTms) + uint32(clampRTT(rttMs))) / 2)
+			d.binRTT[li][i] = uint16((uint32(d.binRTT[li][i]) + uint32(d.clampRTT(rttMs))) / 2)
 		} else {
-			cell.Status = OK
-			cell.RTTms = clampRTT(rttMs)
+			st[i] = OK
+			d.binRTT[li][i] = d.clampRTT(rttMs)
 		}
-		cell.Site = int16(site)
+		d.binSite[li][i] = int16(site)
 	case RCodeErr:
-		if cell.Status != OK {
-			cell.Status = RCodeErr
-			cell.Site = NoSite
+		if st[i] != OK {
+			st[i] = RCodeErr
+			d.binSite[li][i] = NoSite
 		}
 	case Timeout:
-		if cell.Status == NoData {
-			cell.Status = Timeout
-			cell.Site = NoSite
+		if st[i] == NoData {
+			st[i] = Timeout
+			d.binSite[li][i] = NoSite
 		}
 	}
 }
 
-func clampRTT(ms float64) uint16 {
+// clampRTT squeezes a millisecond RTT into the stored uint16 range. Values
+// at or beyond the ceiling are recorded as the RTTOverflowMs sentinel and
+// counted, so saturation is observable instead of silently producing a
+// plausible-looking 65535.
+func (d *Dataset) clampRTT(ms float64) uint16 {
 	if ms < 0 {
 		return 0
 	}
-	if ms > 65535 {
-		return 65535
+	if ms >= RTTOverflowMs {
+		d.rttOverflow.Add(1)
+		return RTTOverflowMs
 	}
 	return uint16(ms)
 }
+
+// RTTOverflowCount reports how many recorded probes saturated the uint16
+// RTT range (and therefore carry the RTTOverflowMs sentinel).
+func (d *Dataset) RTTOverflowCount() uint64 { return d.rttOverflow.Load() }
+
+// Seal canonicalises the raw-letter (site, server) pairs into a dense
+// interned ID table, halving the identity storage and making the raw columns
+// self-describing via SiteServers. IDs are assigned in ascending
+// (site, server) order over the distinct pairs actually recorded, so the
+// table is byte-identical for every worker count. Seal is idempotent;
+// RunContext and LoadDataset call it automatically. record must not be used
+// after sealing.
+func (d *Dataset) Seal() {
+	if d.sealed {
+		return
+	}
+	d.sealed = true
+	idx := make(map[SiteServer]int)
+	var pairs []SiteServer
+	for _, l := range d.Letters {
+		rc := d.raw[l]
+		if rc == nil || rc.ids != nil {
+			continue
+		}
+		for j := range rc.site {
+			p := SiteServer{Site: rc.site[j], Server: rc.server[j]}
+			if _, ok := idx[p]; !ok {
+				idx[p] = 0
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	if len(pairs) > 1<<16 {
+		// More distinct identities than uint16 IDs can address; keep the
+		// wide columns. Never hit in practice (sites × servers is small).
+		return
+	}
+	slices.SortFunc(pairs, func(a, b SiteServer) int {
+		if a.Site != b.Site {
+			return int(a.Site) - int(b.Site)
+		}
+		return int(a.Server) - int(b.Server)
+	})
+	for i, p := range pairs {
+		idx[p] = i
+	}
+	d.ssTable = pairs
+	for _, l := range d.Letters {
+		rc := d.raw[l]
+		if rc == nil || rc.ids != nil {
+			continue
+		}
+		ids := make([]uint16, len(rc.site))
+		for j := range rc.site {
+			ids[j] = uint16(idx[SiteServer{Site: rc.site[j], Server: rc.server[j]}])
+		}
+		rc.ids = ids
+		rc.site, rc.server = nil, nil
+	}
+}
+
+// SiteServers returns the interned (site, server) table built by Seal, in ID
+// order. The result is a view; callers must not modify it.
+func (d *Dataset) SiteServers() []SiteServer { return d.ssTable }
 
 // Exclude drops a VP from analysis with a reason.
 func (d *Dataset) Exclude(vp VPID, reason string) {
@@ -230,24 +368,41 @@ func (d *Dataset) NumExcluded() int {
 
 // At returns the binned observation for (letter, vp, bin). The second
 // return is false for excluded VPs or unknown letters.
+//
+// Deprecated: At assembles a BinObs struct per call; scanning code should
+// use the allocation-free Rows cursor instead. Kept one release for
+// migration; repolint's deprecatedatlas rule flags new non-test uses
+// outside internal/atlas.
 func (d *Dataset) At(letter byte, vp VPID, bin int) (BinObs, bool) {
 	li, ok := d.letterIdx[letter]
 	if !ok || d.Excluded[vp] || bin < 0 || bin >= d.Bins {
 		return BinObs{Site: NoSite}, false
 	}
-	return d.binned[li][int(vp)*d.Bins+bin], true
+	i := int(vp)*d.Bins + bin
+	return BinObs{Site: d.binSite[li][i], Status: d.binStatus[li][i], RTTms: d.binRTT[li][i]}, true
 }
 
 // RawAt returns the raw observation for (letter, vp, rawBin).
+//
+// Deprecated: RawAt assembles a RawObs struct per call; scanning code
+// should use the allocation-free RawRows cursor instead. Kept one release
+// for migration; repolint's deprecatedatlas rule flags new non-test uses
+// outside internal/atlas.
 func (d *Dataset) RawAt(letter byte, vp VPID, rawBin int) (RawObs, bool) {
-	cells, ok := d.raw[letter]
+	rc, ok := d.raw[letter]
 	if !ok || d.Excluded[vp] || rawBin < 0 || rawBin >= d.RawBins {
 		return RawObs{Site: NoSite}, false
 	}
-	return cells[int(vp)*d.RawBins+rawBin], true
+	i := int(vp)*d.RawBins + rawBin
+	site, server := rc.at(d.ssTable, i)
+	return RawObs{Site: site, Server: server, Status: rc.status[i], RTTms: rc.rtt[i]}, true
 }
 
 // EachVP calls fn for every non-excluded VP ID.
+//
+// Deprecated: use the Rows/RawRows cursors, which pair the VP walk with
+// direct column views. Kept one release for migration; repolint's
+// deprecatedatlas rule flags new non-test uses outside internal/atlas.
 func (d *Dataset) EachVP(fn func(vp VPID)) {
 	for i := 0; i < d.NumVPs; i++ {
 		if !d.Excluded[i] {
@@ -264,13 +419,14 @@ func (d *Dataset) SuccessSeries(letter byte) (*stats.Series, error) {
 		return nil, fmt.Errorf("atlas: letter %c not in dataset", letter)
 	}
 	s := stats.NewSeries(fmt.Sprintf("vps-ok-%c", letter), d.StartMinute, d.BinMinutes, d.Bins)
+	st := d.binStatus[li]
 	for vp := 0; vp < d.NumVPs; vp++ {
 		if d.Excluded[vp] {
 			continue
 		}
-		row := d.binned[li][vp*d.Bins : (vp+1)*d.Bins]
-		for b, cell := range row {
-			if cell.Status == OK {
+		row := st[vp*d.Bins : (vp+1)*d.Bins]
+		for b, c := range row {
+			if c == OK {
 				s.Values[b]++
 			}
 		}
@@ -279,28 +435,17 @@ func (d *Dataset) SuccessSeries(letter byte) (*stats.Series, error) {
 }
 
 // MedianRTTSeries returns the per-bin median RTT of successful queries for
-// one letter (Figure 4).
+// one letter (Figure 4). It runs in two passes over the status column —
+// count per bin, then scatter RTTs into one flat buffer grouped by bin — so
+// the only allocations are the buffer and the series, regardless of VP
+// count.
 func (d *Dataset) MedianRTTSeries(letter byte) (*stats.Series, error) {
 	li, ok := d.letterIdx[letter]
 	if !ok {
 		return nil, fmt.Errorf("atlas: letter %c not in dataset", letter)
 	}
-	perBin := make([][]float64, d.Bins)
-	for vp := 0; vp < d.NumVPs; vp++ {
-		if d.Excluded[vp] {
-			continue
-		}
-		row := d.binned[li][vp*d.Bins : (vp+1)*d.Bins]
-		for b, cell := range row {
-			if cell.Status == OK {
-				perBin[b] = append(perBin[b], float64(cell.RTTms))
-			}
-		}
-	}
 	s := stats.NewSeries(fmt.Sprintf("rtt-median-%c", letter), d.StartMinute, d.BinMinutes, d.Bins)
-	for b, xs := range perBin {
-		s.Values[b] = stats.Median(xs)
-	}
+	d.medianSeries(s, d.binStatus[li], d.binRTT[li], d.binSite[li], false, 0)
 	return s, nil
 }
 
@@ -312,13 +457,15 @@ func (d *Dataset) SiteSeries(letter byte, site int) (*stats.Series, error) {
 		return nil, fmt.Errorf("atlas: letter %c not in dataset", letter)
 	}
 	s := stats.NewSeries(fmt.Sprintf("vps-%c-site%d", letter, site), d.StartMinute, d.BinMinutes, d.Bins)
+	st, si := d.binStatus[li], d.binSite[li]
 	for vp := 0; vp < d.NumVPs; vp++ {
 		if d.Excluded[vp] {
 			continue
 		}
-		row := d.binned[li][vp*d.Bins : (vp+1)*d.Bins]
-		for b, cell := range row {
-			if cell.Status == OK && int(cell.Site) == site {
+		lo := vp * d.Bins
+		row := st[lo : lo+d.Bins]
+		for b, c := range row {
+			if c == OK && int(si[lo+b]) == site {
 				s.Values[b]++
 			}
 		}
@@ -333,21 +480,68 @@ func (d *Dataset) SiteRTTSeries(letter byte, site int) (*stats.Series, error) {
 	if !ok {
 		return nil, fmt.Errorf("atlas: letter %c not in dataset", letter)
 	}
-	perBin := make([][]float64, d.Bins)
+	s := stats.NewSeries(fmt.Sprintf("rtt-%c-site%d", letter, site), d.StartMinute, d.BinMinutes, d.Bins)
+	d.medianSeries(s, d.binStatus[li], d.binRTT[li], d.binSite[li], true, site)
+	return s, nil
+}
+
+// medianSeries fills s with the per-bin median RTT over successful cells
+// (optionally restricted to one site) using counting passes and a single
+// flat scatter buffer.
+func (d *Dataset) medianSeries(s *stats.Series, st []Status, rtt []uint16, si []int16, bySite bool, site int) {
+	// Pass 1: successful samples per bin -> prefix-summed segment offsets.
+	offs := make([]int, d.Bins+1)
 	for vp := 0; vp < d.NumVPs; vp++ {
 		if d.Excluded[vp] {
 			continue
 		}
-		row := d.binned[li][vp*d.Bins : (vp+1)*d.Bins]
-		for b, cell := range row {
-			if cell.Status == OK && int(cell.Site) == site {
-				perBin[b] = append(perBin[b], float64(cell.RTTms))
+		lo := vp * d.Bins
+		row := st[lo : lo+d.Bins]
+		for b, c := range row {
+			if c == OK && (!bySite || int(si[lo+b]) == site) {
+				offs[b+1]++
 			}
 		}
 	}
-	s := stats.NewSeries(fmt.Sprintf("rtt-%c-site%d", letter, site), d.StartMinute, d.BinMinutes, d.Bins)
-	for b, xs := range perBin {
-		s.Values[b] = stats.Median(xs)
+	for b := 0; b < d.Bins; b++ {
+		offs[b+1] += offs[b]
 	}
-	return s, nil
+	// Pass 2: scatter RTTs into per-bin segments, preserving VP order
+	// within each bin (the same multiset the row store accumulated).
+	flat := make([]uint16, offs[d.Bins])
+	next := make([]int, d.Bins)
+	copy(next, offs[:d.Bins])
+	for vp := 0; vp < d.NumVPs; vp++ {
+		if d.Excluded[vp] {
+			continue
+		}
+		lo := vp * d.Bins
+		row := st[lo : lo+d.Bins]
+		for b, c := range row {
+			if c == OK && (!bySite || int(si[lo+b]) == site) {
+				flat[next[b]] = rtt[lo+b]
+				next[b]++
+			}
+		}
+	}
+	for b := 0; b < d.Bins; b++ {
+		seg := flat[offs[b]:offs[b+1]]
+		slices.Sort(seg)
+		s.Values[b] = medianSortedU16(seg)
+	}
+}
+
+// medianSortedU16 is the median of an ascending-sorted uint16 slice,
+// bit-identical to stats.Median over the same values widened to float64:
+// every uint16 converts exactly, and for even n the two middle integers
+// halve exactly, so the q=0.5 linear interpolation loses nothing.
+func medianSortedU16(seg []uint16) float64 {
+	n := len(seg)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return float64(seg[n/2])
+	}
+	return float64(seg[n/2-1])*0.5 + float64(seg[n/2])*0.5
 }

@@ -141,6 +141,9 @@ func RunContext(ctx context.Context, p *Population, w World, cfg ScheduleConfig)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("atlas: campaign canceled: %w", err)
 	}
+	// Intern the raw (site, server) identities now that recording is done;
+	// the canonical ordering makes the table worker-count independent.
+	d.Seal()
 	return d, nil
 }
 

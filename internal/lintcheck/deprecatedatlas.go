@@ -1,0 +1,72 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeprecatedAtlasAnalyzer forbids new calls to the deprecated per-cell row
+// accessors on atlas.Dataset (At, RawAt, EachVP) outside internal/atlas.
+// The accessors survive one release for old callers, but every new scan must
+// go through the columnar cursors (Rows / RawRows), which walk contiguous
+// column slices without per-cell bounds checks or per-row allocation.
+func DeprecatedAtlasAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "deprecatedatlas",
+		Doc:  "no new uses of the deprecated atlas.Dataset row accessors",
+		Run:  runDeprecatedAtlas,
+	}
+}
+
+// atlasPkgPath is the import path of the measurement store the rule guards.
+const atlasPkgPath = "github.com/rootevent/anycastddos/internal/atlas"
+
+// deprecatedDatasetMethods maps each deprecated accessor to its cursor
+// replacement, named in the diagnostic.
+var deprecatedDatasetMethods = map[string]string{
+	"At":     "Rows",
+	"RawAt":  "RawRows",
+	"EachVP": "Rows",
+}
+
+func runDeprecatedAtlas(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if exempt(cleanRelPath(pass.RelFile(file.Pos())), pass.Cfg.DeprecatedAtlasAllow) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			cursor, ok := deprecatedDatasetMethods[fn.Name()]
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			recv := sig.Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj == nil || obj.Pkg() == nil ||
+				obj.Pkg().Path() != atlasPkgPath || obj.Name() != "Dataset" {
+				return true
+			}
+			pass.Reportf("deprecatedatlas", call.Pos(),
+				"atlas.Dataset.%s is deprecated; scan through the %s cursor instead", fn.Name(), cursor)
+			return true
+		})
+	}
+}

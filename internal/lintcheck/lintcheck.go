@@ -40,6 +40,9 @@
 //   - atomicwrite:  in command-line harnesses, whole-file writes must go
 //     through internal/atomicio (temp + fsync + rename) instead of bare
 //     os.Create / os.WriteFile, so a killed run never leaves torn output.
+//   - deprecatedatlas: the per-cell row accessors on atlas.Dataset (At,
+//     RawAt, EachVP) are deprecated outside internal/atlas; new scans must
+//     use the columnar Rows / RawRows cursors.
 package lintcheck
 
 import (
@@ -84,6 +87,10 @@ type Config struct {
 	// forbidden (the atomicwrite rule): harness output must survive the
 	// kill/resume soak's SIGKILLs without tearing.
 	AtomicWriteBan []string
+	// DeprecatedAtlasAllow exempts prefixes from the deprecatedatlas rule.
+	// internal/atlas itself keeps the old accessors alive (and exercises
+	// them against the cursors in its equivalence tests).
+	DeprecatedAtlasAllow []string
 }
 
 // DefaultConfig is the repository policy: wall clock is allowed in the
@@ -100,6 +107,9 @@ func DefaultConfig() Config {
 		// The command harnesses are what the kill/resume soak SIGKILLs;
 		// their output files must be atomic or a crash tears out/.
 		AtomicWriteBan: []string{"cmd/"},
+		// The deprecated row accessors live (and are tested) in the atlas
+		// package; everywhere else new code must use the cursors.
+		DeprecatedAtlasAllow: []string{"internal/atlas"},
 	}
 }
 
@@ -160,6 +170,7 @@ func Analyzers() []*Analyzer {
 		PanicPolicyAnalyzer(),
 		APIHygieneAnalyzer(),
 		AtomicWriteAnalyzer(),
+		DeprecatedAtlasAnalyzer(),
 	}
 }
 

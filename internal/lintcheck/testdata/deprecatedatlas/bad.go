@@ -1,0 +1,32 @@
+// Package deprecatedatlas exercises the deprecatedatlas rule: the per-cell
+// row accessors on atlas.Dataset are deprecated outside internal/atlas,
+// where the columnar cursors replace them.
+package deprecatedatlas
+
+import "github.com/rootevent/anycastddos/internal/atlas"
+
+// UseDeprecated touches every deprecated accessor once.
+func UseDeprecated(d *atlas.Dataset) int {
+	n := 0
+	if obs, ok := d.At('K', 0, 0); ok && obs.Status == atlas.OK {
+		n++
+	}
+	if obs, ok := d.RawAt('K', 0, 0); ok && obs.Status == atlas.OK {
+		n++
+	}
+	d.EachVP(func(vp atlas.VPID) { n++ })
+	return n
+}
+
+// UseCursors walks the supported path and must stay clean.
+func UseCursors(d *atlas.Dataset) int {
+	n := 0
+	rows, err := d.Rows('K')
+	if err != nil {
+		return 0
+	}
+	for rows.Next() {
+		n += len(rows.Status())
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+package anycastddos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/analysis"
+	"github.com/rootevent/anycastddos/internal/atlas"
+	"github.com/rootevent/anycastddos/internal/atlas/atlastest"
+	"github.com/rootevent/anycastddos/internal/core"
+	"github.com/rootevent/anycastddos/internal/faults"
+	"github.com/rootevent/anycastddos/internal/stats"
+)
+
+// TestReplayEquivalence9k is the full-pipeline version of the atlas-level
+// columnar/row equivalence proof: at the paper's 9000-VP population, the
+// columnar Measure must produce byte-identical ATLDS001 output at 1 and 4
+// workers, both must match a sequential replay through the seed's row store
+// (internal/atlas/atlastest), and every derived series, figure, and table
+// must agree bit-for-bit across worker counts — with and without an injected
+// fault plan.
+func TestReplayEquivalence9k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full 9k-VP pipeline runs")
+	}
+	for _, faulted := range []bool{false, true} {
+		name := "clean"
+		if faulted {
+			name = "faulted"
+		}
+		t.Run(name, func(t *testing.T) {
+			const seed = 11
+			build := func(workers int) (*core.Evaluator, *atlas.Dataset) {
+				t.Helper()
+				cfg := coreSmallConfig(seed)
+				cfg.VPs = 9000
+				// Long enough to cover the first scheduled attack event;
+				// the full two-day window would quadruple the runtime
+				// without exercising any extra store machinery.
+				cfg.Minutes = 600
+				opts := []core.Option{core.WithWorkers(workers)}
+				if faulted {
+					opts = append(opts, core.WithFaults(faults.RandomPlan(seed, faults.LightProfile())))
+				}
+				ev, err := core.NewEvaluator(cfg, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ev.Run(); err != nil {
+					t.Fatal(err)
+				}
+				d, err := ev.Measure()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ev, d
+			}
+			ev1, d1 := build(1)
+			ev4, d4 := build(4)
+
+			// The row replay walks the same probe schedule sequentially
+			// against the seed's array-of-structs store, using the single
+			// worker evaluator as the probe world.
+			scfg := atlas.DefaultScheduleConfig()
+			scfg.Minutes = ev1.Cfg.Minutes
+			scfg.RawLetters = ev1.Cfg.RawLetters
+			ref := atlastest.RunCampaign(ev1.Population, ev1, scfg)
+
+			var b1, b4, bref bytes.Buffer
+			if err := d1.Save(&b1); err != nil {
+				t.Fatal(err)
+			}
+			if err := d4.Save(&b4); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Save(&bref); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1.Bytes(), b4.Bytes()) {
+				t.Fatalf("Save bytes differ between 1 and 4 workers (%d vs %d bytes)", b1.Len(), b4.Len())
+			}
+			if !bytes.Equal(b1.Bytes(), bref.Bytes()) {
+				t.Fatalf("columnar Save differs from row-store replay (%d vs %d bytes)", b1.Len(), bref.Len())
+			}
+
+			for _, l := range scfg.Letters {
+				ss, err := d1.SuccessSeries(l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				atlastest.SameSeries(t, fmt.Sprintf("success %c", l), ss, ref.SuccessSeries(l))
+				ms, err := d1.MedianRTTSeries(l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				atlastest.SameSeries(t, fmt.Sprintf("median %c", l), ms, ref.MedianRTTSeries(l))
+			}
+
+			// Figures and tables must come out identical from both worker
+			// counts. Map-of-series figures are compared bin-by-bin with
+			// Float64bits; value-shaped results are compared through %#v,
+			// whose shortest round-trippable float rendering makes the
+			// string compare a byte-identity check.
+			a1 := analysis.New(ev1, d1)
+			a4 := analysis.New(ev4, d4)
+			seriesChecks := []struct {
+				label  string
+				render func(a *analysis.Analyzer) (map[byte]*stats.Series, error)
+			}{
+				{"Figure3", func(a *analysis.Analyzer) (map[byte]*stats.Series, error) { return a.Figure3() }},
+				{"Figure4", func(a *analysis.Analyzer) (map[byte]*stats.Series, error) { return a.Figure4() }},
+				{"Figure8", func(a *analysis.Analyzer) (map[byte]*stats.Series, error) { return a.Figure8() }},
+			}
+			for _, c := range seriesChecks {
+				m1, err := c.render(a1)
+				if err != nil {
+					t.Fatalf("%s (1 worker): %v", c.label, err)
+				}
+				m4, err := c.render(a4)
+				if err != nil {
+					t.Fatalf("%s (4 workers): %v", c.label, err)
+				}
+				if len(m1) != len(m4) {
+					t.Fatalf("%s: letter count differs: %d vs %d", c.label, len(m1), len(m4))
+				}
+				for l, s1 := range m1 {
+					s4, ok := m4[l]
+					if !ok {
+						t.Fatalf("%s: letter %c missing from 4-worker result", c.label, l)
+					}
+					atlastest.SameSeries(t, fmt.Sprintf("%s %c", c.label, l), s4, s1)
+				}
+			}
+			f61, err := a1.Figure6('K')
+			if err != nil {
+				t.Fatal(err)
+			}
+			f64, err := a4.Figure6('K')
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(f61) != len(f64) {
+				t.Fatalf("Figure6K: site count differs: %d vs %d", len(f61), len(f64))
+			}
+			for i := range f61 {
+				s1, s4 := f61[i], f64[i]
+				if s1.Site != s4.Site || s1.SiteIndex != s4.SiteIndex ||
+					s1.MedianVPs != s4.MedianVPs ||
+					fmt.Sprintf("%v", s1.CriticalBins) != fmt.Sprintf("%v", s4.CriticalBins) {
+					t.Fatalf("Figure6K site %d differs: %+v vs %+v", i, s1, s4)
+				}
+				atlastest.SameSeries(t, fmt.Sprintf("Figure6K norm %s", s1.Site), s4.Norm, s1.Norm)
+			}
+
+			valueChecks := []struct {
+				label  string
+				render func(a *analysis.Analyzer) (any, error)
+			}{
+				{"Table2", func(a *analysis.Analyzer) (any, error) { return a.Table2(), nil }},
+				{"DNSMON", func(a *analysis.Analyzer) (any, error) { return a.DNSMON() }},
+			}
+			for _, c := range valueChecks {
+				v1, err := c.render(a1)
+				if err != nil {
+					t.Fatalf("%s (1 worker): %v", c.label, err)
+				}
+				v4, err := c.render(a4)
+				if err != nil {
+					t.Fatalf("%s (4 workers): %v", c.label, err)
+				}
+				s1, s4 := fmt.Sprintf("%#v", v1), fmt.Sprintf("%#v", v4)
+				if s1 != s4 {
+					t.Errorf("%s differs between 1 and 4 workers", c.label)
+				}
+			}
+		})
+	}
+}
