@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build lint test race soak soak-resume bench bench-gate bench-workers reproduce
+.PHONY: verify fmt vet build lint test race soak soak-resume campaign-smoke campaign-resume bench bench-gate bench-workers reproduce
 
 # Keep bench going even if tee's upstream pipeline status matters on some
 # shells: the JSON step only runs when the bench run itself succeeded.
@@ -48,6 +48,19 @@ soak:
 # "Crash recovery"). Quick mode used by CI; crank -kills/-minutes to soak.
 soak-resume:
 	$(GO) run ./cmd/chaossoak -mode killresume -kills 3 -seed 7 -minutes 720
+
+# Campaign degraded-mode smoke: sweep a tiny scenario grid containing one
+# scripted-panic and one scripted-stall scenario and require both to be
+# quarantined with the right failure class while the clean scenarios
+# complete (see README "Campaign runner").
+campaign-smoke:
+	$(GO) run ./cmd/chaossoak -mode campaignsmoke
+
+# Campaign kill/resume soak: SIGKILL the campaign runner at seeded points
+# of ledger progress, resume each time, and require the final campaign.json
+# to be byte-identical to an uninterrupted sweep's.
+campaign-resume:
+	$(GO) run ./cmd/chaossoak -mode campaignresume -kills 3 -seed 7
 
 # Tracked benchmark baseline: the per-figure benches plus the routing
 # (ComputeFullVsIncremental) and probe (ProbeOutcome) hot-path benches,

@@ -1,0 +1,202 @@
+// Command campaign sweeps a declarative grid of attack/defense/fault
+// scenarios, each in an isolated child process, and aggregates the
+// outcomes into one machine-readable report.
+//
+// Usage:
+//
+//	campaign -spec FILE -dir DIR [-resume] [-parallel N] [-timeout D]
+//	         [-stall-timeout D] [-retries N] [-seed N] [-progress]
+//
+// The spec (see internal/campaign) declares per-axis value lists —
+// schedules, intensities, duration scales, target sets, defense policies,
+// fault plans, seeds — that are crossed into a deterministic scenario
+// grid. Each scenario runs in its own child process (this binary
+// re-invoked with -exec-scenario) under a hard deadline, heartbeat-based
+// stall detection, and bounded seeded-backoff retries; progress is
+// recorded in a crash-safe ledger under -dir, so after a crash or SIGKILL
+//
+//	campaign -spec FILE -dir DIR -resume
+//
+// skips completed scenarios, re-queues in-flight ones, and produces a
+// campaign.json byte-identical to an uninterrupted run. Scenarios that
+// keep failing are quarantined with a failure class (panic, timeout,
+// stall, exit:N, ...) instead of aborting the sweep: the campaign exits 0
+// with a degraded report as long as the grid reached a terminal state.
+//
+// Exit status follows the core.Exit* contract; the scenario children use
+// it too, which is how the parent classifies their failures.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/analysis"
+	"github.com/rootevent/anycastddos/internal/atomicio"
+	"github.com/rootevent/anycastddos/internal/campaign"
+	"github.com/rootevent/anycastddos/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+
+	specPath := flag.String("spec", "", "campaign spec JSON (required)")
+	dir := flag.String("dir", "", "campaign directory: ledger, per-scenario state, report (required)")
+	resume := flag.Bool("resume", false, "resume the campaign recorded in -dir's ledger")
+	parallel := flag.Int("parallel", 2, "scenarios run concurrently")
+	timeout := flag.Duration("timeout", 10*time.Minute, "hard per-scenario-attempt deadline")
+	stallTimeout := flag.Duration("stall-timeout", 30*time.Second, "kill an attempt silent for this long")
+	retries := flag.Int("retries", 3, "attempts before a scenario is quarantined")
+	seed := flag.Int64("seed", 1, "retry-backoff jitter seed")
+	progress := flag.Bool("progress", false, "log per-scenario lifecycle events")
+	execScenario := flag.String("exec-scenario", "", "internal: run one scenario from this file (child mode)")
+	flag.Parse()
+
+	if *execScenario != "" {
+		os.Exit(childMain(*execScenario))
+	}
+	if *specPath == "" || *dir == "" {
+		log.Print("need -spec FILE and -dir DIR")
+		flag.Usage()
+		os.Exit(core.ExitFailure)
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := campaign.ParseSpec(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("resolve own binary for scenario children: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rc := campaign.RunnerConfig{
+		Dir:          *dir,
+		Bin:          self,
+		BaseArgs:     []string{"-exec-scenario"},
+		Parallel:     *parallel,
+		Timeout:      *timeout,
+		StallTimeout: *stallTimeout,
+		MaxAttempts:  *retries,
+		Seed:         *seed,
+		Resume:       *resume,
+	}
+	if *progress {
+		rc.Logf = log.Printf
+	}
+	rep, err := campaign.Run(ctx, spec, rc)
+	if err != nil {
+		code := core.ExitCode(err)
+		log.Printf("campaign failed (exit %d): %v", code, err)
+		os.Exit(code)
+	}
+	reportPath := filepath.Join(*dir, campaign.ReportFileName)
+	if err := campaign.WriteReport(reportPath, rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s: %d scenarios — %d completed, %d quarantined, %d pending -> %s",
+		rep.Name, rep.GridSize, rep.Completed, rep.Quarantined, rep.Pending, reportPath)
+	for _, sr := range rep.Scenarios {
+		if sr.Status == campaign.StatusQuarantined {
+			log.Printf("  quarantined %s (%s)", sr.ID, sr.FailureClass)
+		}
+	}
+}
+
+// childMain is scenario-child mode: run one grid point and leave its
+// outcome next to the scenario file. Stdout lines double as liveness
+// heartbeats for the parent's stall detector, and the exit status follows
+// the core.Exit* contract so the parent can classify failures.
+func childMain(scenPath string) int {
+	log.SetPrefix("scenario: ")
+	data, err := os.ReadFile(scenPath)
+	if err != nil {
+		log.Print(err)
+		return core.ExitFailure
+	}
+	var sc campaign.Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		log.Printf("parse scenario: %v", err)
+		return core.ExitFailure
+	}
+	cfg, opts, err := sc.EngineConfig()
+	if err != nil {
+		log.Print(err)
+		return core.ExitFailure
+	}
+	// First heartbeat before any work: topology construction can take a
+	// while in silence, and silence is what the parent kills for.
+	fmt.Printf("%s starting (%d VPs, %d minutes)\n", sc.ID, sc.VPs, sc.Minutes)
+	opts = append(opts, core.WithProgress(func(p core.Progress) {
+		if sc.Chaos != nil && p.Stage == core.StageRun && p.Done >= sc.Chaos.Minute {
+			applyChaos(sc.Chaos)
+		}
+		// One line per simulated minute / measured VP: the parent treats any
+		// output as a heartbeat.
+		fmt.Printf("%s %s %d/%d\n", sc.ID, p.Stage, p.Done, p.Total)
+	}))
+
+	ev, err := core.NewEvaluator(cfg, opts...)
+	if err != nil {
+		log.Print(err)
+		return core.ExitCode(err)
+	}
+	if err := ev.Run(); err != nil {
+		log.Print(err)
+		return core.ExitCode(err)
+	}
+	d, err := ev.Measure()
+	if err != nil {
+		log.Print(err)
+		return core.ExitCode(err)
+	}
+	out, err := analysis.New(ev, d).Outcome(analysis.DefaultOutcomeConfig(sc.Seed))
+	if err != nil {
+		log.Print(err)
+		return core.ExitCode(err)
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		log.Printf("encode outcome: %v", err)
+		return core.ExitFailure
+	}
+	if err := atomicio.WriteFileBytes(filepath.Join(filepath.Dir(scenPath), campaign.OutcomeFileName), body); err != nil {
+		log.Print(err)
+		return core.ExitFailure
+	}
+	fmt.Printf("%s done\n", sc.ID)
+	return core.ExitOK
+}
+
+// applyChaos fires a scripted failure — the campaign-smoke hook proving
+// the runner quarantines misbehaving scenarios instead of dying with them.
+func applyChaos(c *campaign.ChaosSpec) {
+	switch c.Kind {
+	case "panic":
+		panic(fmt.Sprintf("scripted chaos panic at minute %d", c.Minute))
+	case "stall":
+		// Sleep, not select{}: with every other goroutine parked on channels
+		// the runtime's deadlock detector would crash the process (exit 2)
+		// and the parent would see a panic instead of a stall.
+		for {
+			time.Sleep(time.Hour) //repolint:allow wallclock -- scripted stall, test-only chaos path
+		}
+	case "exit":
+		os.Exit(c.Code)
+	}
+}

@@ -16,9 +16,23 @@
 //	equal the golden hash — the crash-recovery guarantee, end to end
 //	through real process death. Run it from the repository root.
 //
+//	-mode campaignresume: the same guarantee one level up, for the
+//	campaign runner. It records the golden campaign.json of an
+//	uninterrupted grid sweep, then repeatedly SIGKILLs the runner at
+//	seeded points of ledger progress and resumes it; the final resumed
+//	campaign.json must be byte-identical to the golden one. Run it from
+//	the repository root.
+//
+//	-mode campaignsmoke: runs a tiny campaign grid containing one
+//	scripted-panic and one scripted-stall scenario and verifies both end
+//	up quarantined with the right failure class while the clean
+//	scenarios complete — the degraded-mode guarantee behind
+//	`make campaign-smoke`. Run it from the repository root.
+//
 // Usage:
 //
-//	chaossoak [-mode soak|killresume] [-seeds N] [-profile light|heavy|monitor]
+//	chaossoak [-mode soak|killresume|campaignresume|campaignsmoke]
+//	          [-seeds N] [-profile light|heavy|monitor]
 //	          [-workers N] [-minutes N] [-equiv N] [-kills N] [-seed N]
 //
 // The first failed verification exits non-zero immediately.
@@ -42,6 +56,9 @@ import (
 	"syscall"
 	"time"
 
+	"encoding/json"
+
+	"github.com/rootevent/anycastddos/internal/campaign"
 	"github.com/rootevent/anycastddos/internal/checkpoint"
 	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/faults"
@@ -76,8 +93,18 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("killresume ok: %d kill cycles, resumed hash matches golden (seed %d)", *kills, *seed)
+	case "campaignresume":
+		if err := campaignResume(ctx, *seed, *kills); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("campaignresume ok: %d kill cycles, resumed campaign.json matches golden byte for byte (seed %d)", *kills, *seed)
+	case "campaignsmoke":
+		if err := campaignSmoke(ctx); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("campaignsmoke ok: panic and stall scenarios quarantined, clean scenarios completed")
 	default:
-		log.Fatalf("unknown -mode %q (soak or killresume)", *mode)
+		log.Fatalf("unknown -mode %q (soak, killresume, campaignresume, or campaignsmoke)", *mode)
 	}
 }
 
@@ -253,6 +280,238 @@ func killTargets(seed int64, kills, minutes int) []int {
 		lo = t + stride
 	}
 	return targets
+}
+
+// campaignGridSpec is the tiny 4-scenario grid both campaign modes sweep:
+// small enough to finish in seconds, big enough for partial progress
+// between kills. campaignsmoke adds scripted chaos on top of it.
+func campaignGridSpec(chaos bool) string {
+	spec := `{
+  "name": "chaossoak",
+  "vps": 80,
+  "minutes": 120,
+  "topology": {"tier1s": 4, "tier2s": 24, "stubs": 160},
+  "axes": {"defenses": ["absorb"], "seeds": [1, 2, 3, 4]}`
+	if chaos {
+		spec += `,
+  "chaos": [
+    {"scenario": 2, "kind": "panic", "minute": 20},
+    {"scenario": 3, "kind": "stall", "minute": 20}
+  ]`
+	}
+	return spec + "\n}\n"
+}
+
+// buildCampaignBin builds the campaign binary into work and writes the
+// spec next to it, returning both paths.
+func buildCampaignBin(ctx context.Context, work string, chaos bool) (bin, specPath string, err error) {
+	bin = filepath.Join(work, "campaign-bin")
+	log.Printf("building campaign...")
+	if out, err := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/campaign").CombinedOutput(); err != nil {
+		return "", "", fmt.Errorf("build campaign (run from the repo root): %w\n%s", err, out)
+	}
+	specPath = filepath.Join(work, "spec.json")
+	if err := os.WriteFile(specPath, []byte(campaignGridSpec(chaos)), 0o644); err != nil { //repolint:allow atomicwrite -- throwaway harness input in a temp dir
+		return "", "", fmt.Errorf("write spec: %w", err)
+	}
+	return bin, specPath, nil
+}
+
+// campaignArgs are the runner flags shared by every campaign invocation
+// in these modes.
+func campaignArgs(specPath, dir string) []string {
+	return []string{
+		"-spec", specPath, "-dir", dir,
+		"-parallel", "2",
+		"-timeout", "2m", "-stall-timeout", "10s",
+		"-retries", "2",
+		"-progress",
+	}
+}
+
+// campaignResume proves the campaign runner's crash recovery through real
+// process death: a golden uninterrupted sweep, then SIGKILL cycles at
+// seeded ledger-progress points with resumes in between, and a final
+// resumed report that must equal the golden one byte for byte.
+func campaignResume(ctx context.Context, seed int64, kills int) error {
+	work, err := os.MkdirTemp("", "chaossoak-campaignresume-*")
+	if err != nil {
+		return fmt.Errorf("workdir: %w", err)
+	}
+	defer os.RemoveAll(work)
+	bin, specPath, err := buildCampaignBin(ctx, work, false)
+	if err != nil {
+		return err
+	}
+
+	goldenDir := filepath.Join(work, "golden")
+	log.Printf("golden uninterrupted campaign...")
+	if err := runChild(ctx, bin, campaignArgs(specPath, goldenDir)); err != nil {
+		return fmt.Errorf("golden campaign: %w", err)
+	}
+	golden, err := os.ReadFile(filepath.Join(goldenDir, campaign.ReportFileName))
+	if err != nil {
+		return fmt.Errorf("read golden report: %w", err)
+	}
+
+	killedDir := filepath.Join(work, "killed")
+	ledgerPath := filepath.Join(killedDir, campaign.LedgerFileName)
+	for k, target := range campaignKillTargets(seed, kills, 4) {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("canceled before kill cycle %d: %w", k, err)
+		}
+		args := campaignArgs(specPath, killedDir)
+		if k > 0 {
+			args = append(args, "-resume")
+		}
+		completed, err := campaignKillCycle(ctx, bin, args, ledgerPath, target)
+		if err != nil {
+			return fmt.Errorf("kill cycle %d: %w", k, err)
+		}
+		if completed {
+			log.Printf("cycle %d: campaign completed before reaching %d terminal records", k, target)
+			continue
+		}
+		log.Printf("cycle %d: SIGKILLed runner at >= %d terminal ledger records", k, target)
+	}
+
+	log.Printf("final resume to completion...")
+	if err := runChild(ctx, bin, append(campaignArgs(specPath, killedDir), "-resume")); err != nil {
+		return fmt.Errorf("final resume: %w", err)
+	}
+	resumed, err := os.ReadFile(filepath.Join(killedDir, campaign.ReportFileName))
+	if err != nil {
+		return fmt.Errorf("read resumed report: %w", err)
+	}
+	if !bytes.Equal(golden, resumed) {
+		return fmt.Errorf("resumed campaign.json differs from golden:\n--- golden ---\n%s\n--- resumed ---\n%s", golden, resumed)
+	}
+	return nil
+}
+
+// campaignKillTargets draws a strictly increasing seeded schedule of
+// terminal-record counts (done + quarantine records accumulated in the
+// ledger) at which to SIGKILL the runner. Counts stay below the grid size
+// so every kill interrupts genuinely unfinished work.
+func campaignKillTargets(seed int64, kills, gridSize int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	targets := make([]int, 0, kills)
+	t := 0
+	for k := 0; k < kills; k++ {
+		headroom := (gridSize - 1 - t) - (kills - 1 - k)
+		step := 1
+		if headroom > 1 {
+			step = 1 + rng.Intn(headroom)
+		}
+		t += step
+		if t > gridSize-1 {
+			t = gridSize - 1
+		}
+		targets = append(targets, t)
+	}
+	return targets
+}
+
+// campaignKillCycle starts one campaign runner and SIGKILLs it once the
+// ledger shows target terminal records. completed reports the runner
+// finished the whole grid before the kill fired.
+func campaignKillCycle(ctx context.Context, bin string, args []string, ledgerPath string, target int) (completed bool, err error) {
+	cmd := exec.CommandContext(ctx, bin, args...)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		return false, fmt.Errorf("start runner: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			<-done // CommandContext already killed the runner
+			return false, fmt.Errorf("canceled waiting for %d terminal records: %w", target, ctx.Err())
+		case werr := <-done:
+			if werr != nil {
+				return false, fmt.Errorf("runner died before the kill at %d terminal records: %w\n%s", target, werr, out.Bytes())
+			}
+			return true, nil
+		case <-ticker.C:
+			// The read-only recovery path tolerates the live runner's
+			// concurrent appends: a half-written tail just ends the prefix.
+			recs, rerr := campaign.ReadRecords(ledgerPath)
+			if rerr != nil {
+				continue
+			}
+			terminal := 0
+			for _, r := range recs {
+				if r.Type == campaign.RecDone || r.Type == campaign.RecQuarantine {
+					terminal++
+				}
+			}
+			if terminal < target {
+				continue
+			}
+			kerr := cmd.Process.Kill()
+			werr := <-done
+			if kerr != nil && !errors.Is(kerr, os.ErrProcessDone) {
+				return false, fmt.Errorf("SIGKILL runner: %w", kerr)
+			}
+			// werr is the expected "signal: killed" — or nil when the runner
+			// won the race and completed first.
+			return werr == nil, nil
+		}
+	}
+}
+
+// campaignSmoke sweeps the chaos grid — one scripted panic, one scripted
+// stall, two clean scenarios — and verifies the runner degrades instead of
+// dying: exit 0, both chaotic scenarios quarantined with the right class,
+// both clean ones completed with outcomes.
+func campaignSmoke(ctx context.Context) error {
+	work, err := os.MkdirTemp("", "chaossoak-campaignsmoke-*")
+	if err != nil {
+		return fmt.Errorf("workdir: %w", err)
+	}
+	defer os.RemoveAll(work)
+	bin, specPath, err := buildCampaignBin(ctx, work, true)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(work, "campaign")
+	log.Printf("sweeping the chaos grid (scripted panic + stall)...")
+	args := append(campaignArgs(specPath, dir), "-stall-timeout", "5s")
+	if err := runChild(ctx, bin, args); err != nil {
+		return fmt.Errorf("chaos campaign should exit 0 with a degraded report: %w", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, campaign.ReportFileName))
+	if err != nil {
+		return fmt.Errorf("read report: %w", err)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("parse report: %w", err)
+	}
+	if rep.GridSize != 4 || rep.Completed != 2 || rep.Quarantined != 2 || rep.Pending != 0 {
+		return fmt.Errorf("report counts: grid=%d completed=%d quarantined=%d pending=%d, want 4/2/2/0",
+			rep.GridSize, rep.Completed, rep.Quarantined, rep.Pending)
+	}
+	wantClass := map[int]string{2: "panic", 3: "stall"}
+	for _, sr := range rep.Scenarios {
+		want, chaotic := wantClass[sr.Index]
+		if chaotic {
+			if sr.Status != campaign.StatusQuarantined || sr.FailureClass != want {
+				return fmt.Errorf("scenario %d: status=%s class=%q, want quarantined/%s", sr.Index, sr.Status, sr.FailureClass, want)
+			}
+			log.Printf("scenario %d quarantined as %q — as scripted", sr.Index, sr.FailureClass)
+		} else if sr.Status != campaign.StatusCompleted || len(sr.Outcome) == 0 {
+			return fmt.Errorf("clean scenario %d: status=%s outcome=%d bytes", sr.Index, sr.Status, len(sr.Outcome))
+		}
+	}
+	if rep.Aggregate == nil {
+		return fmt.Errorf("degraded report lost its aggregate over the completed scenarios")
+	}
+	return nil
 }
 
 // killCycle starts one checkpointing child and SIGKILLs it once its

@@ -20,6 +20,10 @@
 // simulation under a watchdog that restarts from the last checkpoint after
 // stalls and recovered panics, writing out/recovery.json. Either way the
 // final output is byte-identical to an uninterrupted run.
+//
+// Exit status (the core.Exit* contract, stable for parent supervisors such
+// as the campaign runner): 0 clean success, 1 generic failure, 2 panic,
+// 3 restart-budget exhaustion under -supervise, 4 context cancellation.
 package main
 
 import (
@@ -170,7 +174,12 @@ func main() {
 			log.Printf("wrote %s", filepath.Join(*outDir, "recovery.json"))
 		}
 		if err != nil {
-			log.Fatal(err)
+			// Distinct documented exit codes (see core.ExitCode): 2 panic,
+			// 3 restart budget exhausted, 4 canceled, 1 anything else — so a
+			// parent supervisor can classify the failure without log parsing.
+			code := core.ExitCode(err)
+			log.Printf("supervised run failed (exit %d): %v", code, err)
+			os.Exit(code)
 		}
 	case *resume:
 		log.Printf("simulating the two event days (resuming from %s)...", *ckptDir)

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestOutcome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine run")
+	}
+	ev, d := getShared(t)
+	an := New(ev, d)
+	out, err := an.Outcome(DefaultOutcomeConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Letters) != len(ev.Deployment.SortedLetters()) {
+		t.Fatalf("letters = %d, want %d", len(out.Letters), len(ev.Deployment.SortedLetters()))
+	}
+	if out.MinEventAvailability < 0 || out.MinEventAvailability > 1 {
+		t.Errorf("MinEventAvailability = %v out of range", out.MinEventAvailability)
+	}
+	if out.MeanEventAvailability < out.MinEventAvailability {
+		t.Errorf("mean %v < min %v", out.MeanEventAvailability, out.MinEventAvailability)
+	}
+	// The Nov 2015 events hammer the targeted letters; some damage must be
+	// visible at this scale, and spared letters must fare no worse than the
+	// global minimum.
+	if out.MinEventAvailability >= 1 {
+		t.Error("no event damage observed at all")
+	}
+	if out.MaxRTTInflation < 1 {
+		t.Errorf("MaxRTTInflation = %v < 1", out.MaxRTTInflation)
+	}
+	if out.RouteChanges <= 0 {
+		t.Errorf("RouteChanges = %d, want > 0 (withdraw letters flap routes)", out.RouteChanges)
+	}
+	if out.User == nil {
+		t.Fatal("User outcome missing with DefaultOutcomeConfig")
+	}
+	if out.User.CacheHitFrac <= 0 || out.User.CacheHitFrac >= 1 {
+		t.Errorf("CacheHitFrac = %v, want in (0,1)", out.User.CacheHitFrac)
+	}
+	for name, lo := range out.Letters {
+		if len(name) != 1 {
+			t.Errorf("letter key %q not a single byte", name)
+		}
+		if lo.EventAvailability > lo.OverallAvailability+0.5 {
+			t.Errorf("%s: event availability %v implausibly above overall %v", name, lo.EventAvailability, lo.OverallAvailability)
+		}
+	}
+}
+
+// TestOutcomeDeterministic pins the property the campaign ledger relies
+// on: extracting the outcome twice from the same run yields byte-identical
+// JSON, so a resumed campaign can reuse recorded outcomes.
+func TestOutcomeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine run")
+	}
+	ev, d := getShared(t)
+	an := New(ev, d)
+	a, err := an.Outcome(DefaultOutcomeConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := an.Outcome(DefaultOutcomeConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("outcome not deterministic:\n%s\n%s", ja, jb)
+	}
+}

@@ -1,0 +1,301 @@
+package campaign
+
+// The campaign ledger: a crash-safe, append-only record of scenario
+// lifecycle events. Every record is length-prefixed, canonically encoded
+// JSON followed by its SHA-256, and every append is fsynced, so a SIGKILL
+// of the runner can at worst tear the final record — which recovery
+// detects and truncates away. A resumed campaign replays the ledger to
+// learn which scenarios completed (with their recorded outcomes, reused
+// verbatim so the final report is byte-identical), which were quarantined,
+// and which were in flight and must be re-queued.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ledgerMagic opens every ledger file; the version byte follows it.
+const ledgerMagic = "RDNSCLGR"
+
+// ledgerVersion is the current record-format version.
+const ledgerVersion = 1
+
+// maxRecordBytes caps one record's payload so a corrupted length prefix
+// cannot drive a huge allocation.
+const maxRecordBytes = 16 << 20
+
+// ErrLedgerVersion marks a ledger written by an incompatible format
+// version.
+var ErrLedgerVersion = errors.New("campaign: unsupported ledger version")
+
+// ErrSpecMismatch marks a resume whose spec digest differs from the one
+// the ledger was started with.
+var ErrSpecMismatch = errors.New("campaign: ledger belongs to a different spec")
+
+// Record types, in lifecycle order.
+const (
+	// RecSpec is the first record: the campaign's spec digest.
+	RecSpec = "spec"
+	// RecStart marks one scenario attempt starting.
+	RecStart = "start"
+	// RecFail marks one attempt failing, with its classification.
+	RecFail = "fail"
+	// RecDone marks a scenario completing, with its outcome JSON.
+	RecDone = "done"
+	// RecQuarantine marks a scenario abandoned after exhausting retries.
+	RecQuarantine = "quarantine"
+)
+
+// Record is one ledger entry.
+type Record struct {
+	Type     string `json:"type"`
+	Scenario string `json:"scenario,omitempty"`
+	// Attempt is the 0-based attempt number for start/fail records.
+	Attempt int `json:"attempt,omitempty"`
+	// Class is the failure classification for fail/quarantine records:
+	// "panic", "timeout", "stall", "restarts-exhausted", "canceled",
+	// "exit:N", "signal", or "bad-outcome".
+	Class string `json:"class,omitempty"`
+	// Detail is a human-readable failure description (tail of the child's
+	// output); never part of the report.
+	Detail string `json:"detail,omitempty"`
+	// SpecDigest is set on spec records.
+	SpecDigest string `json:"spec_digest,omitempty"`
+	// Outcome is the scenario's outcome JSON (analysis.Outcome), recorded
+	// verbatim on done records and reused verbatim by resumed reports.
+	Outcome json.RawMessage `json:"outcome,omitempty"`
+}
+
+// Ledger is an open, append-positioned campaign ledger. Append is safe
+// for concurrent use by the runner's scenario workers.
+type Ledger struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenLedger opens (creating if absent) the ledger at path, recovers the
+// readable record prefix, truncates any torn or corrupt tail, and returns
+// the ledger positioned for appends plus the recovered records. A torn
+// final record — the expected debris of a SIGKILLed runner — is silently
+// discarded; so is anything after a corrupted record, since nothing past
+// a bad length prefix can be trusted.
+func OpenLedger(path string) (*Ledger, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: open ledger: %w", err)
+	}
+	recs, good, err := recoverRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("campaign: truncate torn ledger tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("campaign: seek ledger: %w", err)
+	}
+	l := &Ledger{f: f}
+	if good == 0 {
+		if err := l.writeHeader(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return l, recs, nil
+}
+
+// ReadRecords recovers the readable records of the ledger at path without
+// opening it for writing (and without truncating the tail) — the
+// observation path used by the soak harness while a runner is live. A
+// missing file reads as an empty ledger.
+func ReadRecords(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read ledger: %w", err)
+	}
+	defer f.Close()
+	recs, _, err := recoverRecords(f)
+	return recs, err
+}
+
+// recoverRecords parses records from the start of f, returning them along
+// with the byte offset after the last fully-valid record (the truncation
+// point). Only a wrong magic or an incompatible version is an error:
+// torn and corrupt data simply ends the readable prefix.
+func recoverRecords(f *os.File) ([]Record, int64, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: read ledger: %w", err)
+	}
+	headerLen := len(ledgerMagic) + 1
+	if len(data) < headerLen {
+		// Empty or torn header: treat the whole file as absent.
+		return nil, 0, nil
+	}
+	if string(data[:len(ledgerMagic)]) != ledgerMagic {
+		return nil, 0, fmt.Errorf("campaign: %s is not a campaign ledger (bad magic)", f.Name())
+	}
+	if v := data[len(ledgerMagic)]; v != ledgerVersion {
+		return nil, 0, fmt.Errorf("%w: ledger version %d, this build reads %d", ErrLedgerVersion, v, ledgerVersion)
+	}
+	var recs []Record
+	off := headerLen
+	good := int64(off)
+	for {
+		rec, next, ok := parseRecord(data, off)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		off = next
+		good = int64(off)
+	}
+	return recs, good, nil
+}
+
+// parseRecord reads one record at off; ok is false at a clean end of
+// file, a torn tail, or any corruption.
+func parseRecord(data []byte, off int) (Record, int, bool) {
+	var zero Record
+	if off+4 > len(data) {
+		return zero, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	if n <= 0 || n > maxRecordBytes || off+4+n+sha256.Size > len(data) {
+		return zero, 0, false
+	}
+	payload := data[off+4 : off+4+n]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[off+4+n:off+4+n+sha256.Size]) {
+		return zero, 0, false
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return zero, 0, false
+	}
+	return rec, off + 4 + n + sha256.Size, true
+}
+
+// writeHeader emits the magic and version, durably.
+func (l *Ledger) writeHeader() error {
+	hdr := append([]byte(ledgerMagic), ledgerVersion)
+	if _, err := l.f.Write(hdr); err != nil {
+		return fmt.Errorf("campaign: write ledger header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: sync ledger: %w", err)
+	}
+	return nil
+}
+
+// Append encodes, writes, and fsyncs one record. The write is a single
+// contiguous buffer, so a crash mid-append tears at most this record —
+// exactly what recovery truncates away.
+func (l *Ledger) Append(rec Record) error {
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("campaign: encode ledger record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("campaign: ledger record of %d bytes exceeds the %d cap", len(payload), maxRecordBytes)
+	}
+	buf := make([]byte, 0, 4+len(payload)+sha256.Size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(payload)
+	buf = append(buf, sum[:]...)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("campaign: append ledger record: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: sync ledger: %w", err)
+	}
+	return nil
+}
+
+// Close releases the ledger file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// Quarantine is one permanently-failed scenario's terminal state.
+type Quarantine struct {
+	// Class is the final failure classification.
+	Class string
+	// Detail is the final failure's description.
+	Detail string
+	// Attempts is how many attempts failed before giving up.
+	Attempts int
+}
+
+// State is the campaign position a ledger replay yields.
+type State struct {
+	// SpecDigest is the digest the campaign was started with ("" for a
+	// fresh ledger).
+	SpecDigest string
+	// Done maps completed scenario IDs to their recorded outcome JSON.
+	Done map[string]json.RawMessage
+	// Quarantined maps permanently-failed scenario IDs to their terminal
+	// state.
+	Quarantined map[string]Quarantine
+	// Fails counts classified attempt failures per scenario — the retry
+	// budget already spent. Started-but-unresolved attempts (the runner
+	// died mid-flight) deliberately do not count: the scenario is
+	// re-queued at the same budget.
+	Fails map[string]int
+	// LastClass remembers each scenario's most recent failure class.
+	LastClass map[string]string
+	// InFlight lists scenarios with a start record but no terminal record
+	// — the ones a resumed runner re-queues.
+	InFlight map[string]bool
+}
+
+// Replay folds ledger records into campaign state.
+func Replay(recs []Record) *State {
+	st := &State{
+		Done:        map[string]json.RawMessage{},
+		Quarantined: map[string]Quarantine{},
+		Fails:       map[string]int{},
+		LastClass:   map[string]string{},
+		InFlight:    map[string]bool{},
+	}
+	for _, rec := range recs {
+		switch rec.Type {
+		case RecSpec:
+			st.SpecDigest = rec.SpecDigest
+		case RecStart:
+			st.InFlight[rec.Scenario] = true
+		case RecFail:
+			st.Fails[rec.Scenario]++
+			st.LastClass[rec.Scenario] = rec.Class
+			delete(st.InFlight, rec.Scenario)
+		case RecDone:
+			st.Done[rec.Scenario] = rec.Outcome
+			delete(st.InFlight, rec.Scenario)
+		case RecQuarantine:
+			st.Quarantined[rec.Scenario] = Quarantine{
+				Class: rec.Class, Detail: rec.Detail, Attempts: rec.Attempt,
+			}
+			delete(st.InFlight, rec.Scenario)
+		}
+	}
+	return st
+}

@@ -1,0 +1,244 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Type: RecSpec, SpecDigest: "abc123"},
+		{Type: RecStart, Scenario: "s000-x", Attempt: 0},
+		{Type: RecFail, Scenario: "s000-x", Attempt: 0, Class: ClassPanic, Detail: "boom"},
+		{Type: RecStart, Scenario: "s000-x", Attempt: 1},
+		{Type: RecDone, Scenario: "s000-x", Outcome: json.RawMessage(`{"letters":{}}`)},
+		{Type: RecStart, Scenario: "s001-y", Attempt: 0},
+	}
+}
+
+func writeTestLedger(t *testing.T, recs []Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.bin")
+	led, got, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fresh ledger returned %d records", len(got))
+	}
+	for _, rec := range recs {
+		if err := led.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func reopen(t *testing.T, path string) []Record {
+	t.Helper()
+	led, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Close()
+	return recs
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	want := testRecords()
+	path := writeTestLedger(t, want)
+	got := reopen(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		wj, _ := json.Marshal(want[i])
+		gj, _ := json.Marshal(got[i])
+		if string(wj) != string(gj) {
+			t.Errorf("record %d: got %s want %s", i, gj, wj)
+		}
+	}
+	// ReadRecords (the read-only observer path) sees the same thing.
+	ro, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro) != len(want) {
+		t.Fatalf("ReadRecords recovered %d records, want %d", len(ro), len(want))
+	}
+}
+
+func TestLedgerEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	led, recs, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("empty file should recover as a fresh ledger: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("empty file yielded %d records", len(recs))
+	}
+	// And it must be appendable after recovery.
+	if err := led.Append(Record{Type: RecSpec, SpecDigest: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	led.Close()
+	if got := reopen(t, path); len(got) != 1 || got[0].SpecDigest != "d" {
+		t.Fatalf("append after empty-file recovery lost the record: %+v", got)
+	}
+}
+
+func TestLedgerTruncatedTail(t *testing.T) {
+	want := testRecords()
+	path := writeTestLedger(t, want)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes off the end one at a time down past the last record: every
+	// prefix must recover to a clean prefix of the records, never error.
+	for cut := 1; cut <= 40; cut++ {
+		if cut > len(full) {
+			break
+		}
+		if err := os.WriteFile(path, full[:len(full)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := reopen(t, path)
+		if len(got) >= len(want) {
+			t.Fatalf("cut %d: torn tail not discarded (%d records)", cut, len(got))
+		}
+		for i := range got {
+			if got[i].Type != want[i].Type || got[i].Scenario != want[i].Scenario {
+				t.Fatalf("cut %d: record %d diverges: %+v", cut, i, got[i])
+			}
+		}
+	}
+	// A specific torn-tail shape: everything but the final record's last
+	// byte. Exactly the records before it survive, and the file is again
+	// appendable (truncation repositioned the write offset).
+	if err := os.WriteFile(path, full[:len(full)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	led, got, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want)-1 {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want)-1)
+	}
+	if err := led.Append(Record{Type: RecFail, Scenario: "s001-y", Class: ClassStall}); err != nil {
+		t.Fatal(err)
+	}
+	led.Close()
+	got = reopen(t, path)
+	if len(got) != len(want) || got[len(got)-1].Class != ClassStall {
+		t.Fatalf("append after truncation recovery failed: %+v", got)
+	}
+}
+
+func TestLedgerFlippedChecksumByte(t *testing.T) {
+	want := testRecords()
+	path := writeTestLedger(t, want)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte near the end of the file (inside the final
+	// record): recovery must stop at the last good entry before it.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-40] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := reopen(t, path)
+	if len(got) != len(want)-1 {
+		t.Fatalf("flipped tail byte: recovered %d records, want %d", len(got), len(want)-1)
+	}
+
+	// Flip a byte in the middle of the file: everything from the damaged
+	// record on is untrusted and discarded.
+	corrupt = append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = reopen(t, path)
+	if len(got) >= len(want) {
+		t.Fatalf("mid-file corruption not detected (%d records)", len(got))
+	}
+	for i := range got {
+		if got[i].Type != want[i].Type {
+			t.Fatalf("recovered prefix record %d diverges: %+v", i, got[i])
+		}
+	}
+}
+
+func TestLedgerBadMagicAndVersion(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "notaledger.bin")
+	if err := os.WriteFile(bad, []byte("definitely not a ledger"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenLedger(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	future := filepath.Join(dir, "future.bin")
+	if err := os.WriteFile(future, append([]byte(ledgerMagic), 99), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenLedger(future); !errors.Is(err, ErrLedgerVersion) {
+		t.Fatalf("future version: got %v, want ErrLedgerVersion", err)
+	}
+}
+
+func TestReadRecordsMissingFile(t *testing.T) {
+	recs, err := ReadRecords(filepath.Join(t.TempDir(), "nope.bin"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing file: got (%v, %v), want (nil, nil)", recs, err)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	st := Replay(testRecords())
+	if st.SpecDigest != "abc123" {
+		t.Errorf("SpecDigest = %q", st.SpecDigest)
+	}
+	if _, ok := st.Done["s000-x"]; !ok {
+		t.Error("s000-x not done")
+	}
+	if st.InFlight["s000-x"] {
+		t.Error("done scenario still in flight")
+	}
+	if !st.InFlight["s001-y"] {
+		t.Error("s001-y should be in flight (start without terminal record)")
+	}
+	if st.Fails["s000-x"] != 1 || st.LastClass["s000-x"] != ClassPanic {
+		t.Errorf("fail accounting: fails=%d class=%q", st.Fails["s000-x"], st.LastClass["s000-x"])
+	}
+
+	// Quarantine terminates a scenario too.
+	recs := append(testRecords(),
+		Record{Type: RecFail, Scenario: "s001-y", Attempt: 0, Class: ClassStall},
+		Record{Type: RecStart, Scenario: "s001-y", Attempt: 1},
+		Record{Type: RecFail, Scenario: "s001-y", Attempt: 1, Class: ClassStall},
+		Record{Type: RecQuarantine, Scenario: "s001-y", Attempt: 2, Class: ClassStall, Detail: "silent"},
+	)
+	st = Replay(recs)
+	q, ok := st.Quarantined["s001-y"]
+	if !ok || q.Class != ClassStall || q.Attempts != 2 {
+		t.Fatalf("quarantine replay: %+v ok=%v", q, ok)
+	}
+	if st.InFlight["s001-y"] {
+		t.Error("quarantined scenario still in flight")
+	}
+}

@@ -157,7 +157,7 @@ func Supervise(ctx context.Context, cfg Config, scfg SupervisorConfig, opts ...O
 		}
 		if attempt >= scfg.MaxRestarts {
 			report.Err = res.err.Error()
-			return nil, report, fmt.Errorf("core: giving up after %d attempts: %w", report.Attempts, res.err)
+			return nil, report, fmt.Errorf("%w after %d attempts: %w", ErrRestartBudget, report.Attempts, res.err)
 		}
 		backoff := backoffDelay(scfg.BackoffBase, scfg.BackoffCap, attempt, rng)
 		report.Restarts = append(report.Restarts, Restart{

@@ -174,6 +174,12 @@ func TestSuperviseGivesUp(t *testing.T) {
 	if err == nil || !errors.Is(err, ErrRunPanic) {
 		t.Fatalf("err = %v, want wrapped ErrRunPanic", err)
 	}
+	if !errors.Is(err, ErrRestartBudget) {
+		t.Fatalf("err = %v, want wrapped ErrRestartBudget", err)
+	}
+	if got := ExitCode(err); got != ExitRestartsExhausted {
+		t.Errorf("ExitCode = %d, want ExitRestartsExhausted", got)
+	}
 	if ev != nil {
 		t.Error("failed supervision returned an evaluator")
 	}
