@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build lint test race soak soak-resume campaign-smoke campaign-resume bench bench-gate bench-workers reproduce
+.PHONY: verify fmt vet build lint lint-baseline test race soak soak-resume campaign-smoke campaign-resume bench bench-gate bench-workers reproduce
 
 # Keep bench going even if tee's upstream pipeline status matters on some
 # shells: the JSON step only runs when the bench run itself succeeded.
@@ -23,12 +23,22 @@ vet:
 build:
 	$(GO) build ./...
 
-# Repository-specific static analysis: determinism, error-hygiene,
-# panic-policy, and API-hygiene invariants (see README "Determinism
+# Repository-specific static analysis: determinism (per-site and
+# call-graph-transitive), error-hygiene, panic-policy, API-hygiene,
+# durability, and concurrency invariants (see README "Determinism
 # invariants and repolint"). Zero external deps; rules live in
-# internal/lintcheck.
+# internal/lintcheck. Findings are diffed against the committed baseline:
+# a new finding fails, and so does a baseline entry that no longer fires
+# (regenerate with `make lint-baseline` alongside the fix). The full
+# findings JSON lands in lint/findings.json for the CI artifact.
 lint:
-	$(GO) run ./cmd/repolint ./...
+	$(GO) run ./cmd/repolint -baseline lint/baseline.json -out lint/findings.json ./...
+
+# Regenerate the findings baseline after deliberately fixing (or accepting)
+# a finding. The file is canonical JSON: rerunning without code changes is
+# byte-identical.
+lint-baseline:
+	$(GO) run ./cmd/repolint -baseline lint/baseline.json -write-baseline ./...
 
 test:
 	$(GO) test ./...

@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"github.com/rootevent/anycastddos/internal/atomicio"
+	"github.com/rootevent/anycastddos/internal/core"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -145,7 +146,7 @@ func runDiff(oldPath, newPath, tolerance, minImprove string) {
 		for _, f := range res.Failures {
 			fmt.Fprintln(os.Stderr, "FAIL: "+f)
 		}
-		os.Exit(1)
+		os.Exit(core.ExitFailure)
 	}
 	fmt.Printf("benchjson diff: %d benchmarks compared, gate passed\n", len(res.Lines))
 }

@@ -1,16 +1,28 @@
 // Command repolint runs the repository's static-analysis suite
 // (internal/lintcheck) over one or more package patterns and reports any
-// violation of the determinism, error-hygiene, panic-policy, or API-hygiene
-// invariants.
+// violation of the determinism, error-hygiene, panic-policy, API-hygiene,
+// durability, or concurrency invariants — including the transitive
+// determinism analysis, which prints the full call chain from an engine
+// entry point to a forbidden time/randomness source.
 //
 // Usage:
 //
-//	go run ./cmd/repolint [-json] [patterns...]
+//	go run ./cmd/repolint [flags] [patterns...]
+//
+//	-json            emit diagnostics as a JSON array instead of text
+//	-rules           list every rule with its one-line doc and exit
+//	-allows          list every //repolint:allow suppression and exit
+//	-baseline FILE   diff findings against a committed baseline: findings
+//	                 not in the baseline fail, and so do baseline entries
+//	                 that no longer fire (the stale guard)
+//	-write-baseline  regenerate the -baseline file from current findings
+//	-out FILE        also write the full findings JSON to FILE (atomically)
 //
 // Patterns default to ./... and are resolved against the enclosing module
-// root, so the tool behaves the same from any subdirectory. Exit status is 0
-// when the tree is clean, 1 when diagnostics were reported, and 2 on load or
-// usage errors.
+// root, so the tool behaves the same from any subdirectory. Exit status
+// follows the core.Exit* contract: core.ExitOK when clean (or after
+// -rules/-allows/-write-baseline), core.ExitFailure when diagnostics were
+// reported, core.ExitUsage on load or usage errors.
 package main
 
 import (
@@ -18,20 +30,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"github.com/rootevent/anycastddos/internal/atomicio"
+	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/lintcheck"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of file:line:col text")
+	rules := flag.Bool("rules", false, "list every rule with its one-line doc and exit")
+	allows := flag.Bool("allows", false, "list every //repolint:allow suppression and exit")
+	baselinePath := flag.String("baseline", "", "diff findings against this baseline file (fresh and stale both fail)")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the -baseline file from current findings and exit")
+	outPath := flag.String("out", "", "also write the full findings JSON to this file (atomically)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [-json] [patterns...]\n\nRules:\n")
-		for _, a := range lintcheck.Analyzers() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
-		}
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [flags] [patterns...]\n\nRules:\n")
+		printRules(flag.CommandLine.Output())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *rules {
+		printRules(os.Stdout)
+		os.Exit(core.ExitOK)
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fatal(fmt.Errorf("-write-baseline requires -baseline FILE"))
+	}
 
 	wd, err := os.Getwd()
 	if err != nil {
@@ -45,31 +72,108 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *allows {
+		for _, s := range lintcheck.Allows(pkgs) {
+			line := fmt.Sprintf("%s:%d: %s", s.File, s.Line, strings.Join(s.Rules, ","))
+			if s.Justification != "" {
+				line += " -- " + s.Justification
+			}
+			fmt.Println(line)
+		}
+		os.Exit(core.ExitOK)
+	}
+
 	diags := lintcheck.Run(pkgs, lintcheck.DefaultConfig())
+
+	if *outPath != "" {
+		writeFindings(root, *outPath, diags)
+	}
+	if *writeBaseline {
+		data, err := lintcheck.MarshalBaseline(diags)
+		if err != nil {
+			fatal(err)
+		}
+		abs := absAgainst(root, *baselinePath)
+		if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+			fatal(err)
+		}
+		if err := atomicio.WriteFileBytes(abs, data); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "repolint: baseline %s written with %d finding(s)\n", *baselinePath, len(diags))
+		os.Exit(core.ExitOK)
+	}
+
+	fresh, stale := diags, []lintcheck.Diagnostic(nil)
+	if *baselinePath != "" {
+		baseline, err := lintcheck.LoadBaselineFile(absAgainst(root, *baselinePath))
+		if err != nil {
+			fatal(err)
+		}
+		fresh, stale = lintcheck.DiffBaseline(diags, baseline)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lintcheck.Diagnostic{}
+		if fresh == nil {
+			fresh = []lintcheck.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(fresh); err != nil {
 			fatal(err)
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range fresh {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "repolint: %d violation(s)\n", len(diags))
-		}
-		os.Exit(1)
+	for _, d := range stale {
+		fmt.Fprintf(os.Stderr, "repolint: stale baseline entry (finding no longer fires; run `make lint-baseline`): %s\n", d)
 	}
+	if len(fresh) > 0 || len(stale) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "repolint: %d violation(s), %d stale baseline entr(ies)\n", len(fresh), len(stale))
+		}
+		os.Exit(core.ExitFailure)
+	}
+}
+
+func printRules(w interface{ Write([]byte) (int, error) }) {
+	for _, r := range lintcheck.RuleDocs() {
+		fmt.Fprintf(w, "  %-16s %s\n", r.Name, r.Doc)
+	}
+}
+
+// writeFindings writes the complete findings array — before any baseline
+// subtraction — as indented JSON, atomically, creating parent directories.
+func writeFindings(root, path string, diags []lintcheck.Diagnostic) {
+	if diags == nil {
+		diags = []lintcheck.Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	abs := absAgainst(root, path)
+	if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+		fatal(err)
+	}
+	if err := atomicio.WriteFileBytes(abs, append(data, '\n')); err != nil {
+		fatal(err)
+	}
+}
+
+// absAgainst resolves a possibly-relative flag path against the module root,
+// so `make lint` behaves identically from any subdirectory.
+func absAgainst(root, path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(root, path)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repolint:", err)
-	os.Exit(2)
+	os.Exit(core.ExitUsage)
 }

@@ -28,7 +28,11 @@ func WriteFile(path string, write func(w io.Writer) error) (err error) {
 	tmpName := tmp.Name()
 	defer func() {
 		if err != nil {
-			tmp.Close()
+			// On the post-close failure paths (rename, dir sync) the handle
+			// is already closed and this returns ErrClosed by design; the
+			// temp file is being discarded, so its close error carries no
+			// durability information either way.
+			tmp.Close() //repolint:allow syncclose -- cleanup of a discarded temp file; double-close expected after rename failure
 			os.Remove(tmpName)
 		}
 	}()

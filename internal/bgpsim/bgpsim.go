@@ -80,6 +80,8 @@ func (r Route) Valid() bool { return r.Site != NoSite }
 
 // nextLen increments a path length, saturating instead of wrapping so that
 // pathological graphs cannot cycle through uint8 overflow.
+//
+//repolint:hot
 func nextLen(l uint8) uint8 {
 	if l == 255 {
 		return 255
@@ -88,6 +90,8 @@ func nextLen(l uint8) uint8 {
 }
 
 // mix64 is the splitmix64 finalizer, used for per-AS tie ranks.
+//
+//repolint:hot
 func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -104,12 +108,16 @@ func mix64(x uint64) uint64 {
 // population — and a site announced through k uplinks wins a tie against a
 // single-uplink site with probability k/(k+1), the structural advantage of
 // heavily meshed IX sites like K-AMS.
+//
+//repolint:hot
 func tieRank(asn topo.ASN, origin int) uint64 {
 	return mix64(uint64(asn)<<20 ^ uint64(uint32(origin))*0x9E3779B9)
 }
 
 // better reports whether candidate a beats incumbent b at the given AS
 // under BGP policy preferences with deterministic per-AS tie-breaking.
+//
+//repolint:hot
 func better(asn topo.ASN, a, b Route) bool {
 	if !b.Valid() {
 		return a.Valid()
@@ -139,6 +147,8 @@ type Table struct {
 }
 
 // SiteOf returns the site serving the given AS, or NoSite.
+//
+//repolint:hot
 func (t *Table) SiteOf(a topo.ASN) int { return t.Routes[a].Site }
 
 // CatchmentSizes returns, for each site index < nSites, the number of ASes
@@ -150,6 +160,8 @@ func (t *Table) CatchmentSizes(nSites int) []int {
 // CatchmentSizesInto is CatchmentSizes with a caller-supplied buffer: sizes
 // is zeroed, filled per site index < len(sizes), and returned, so analysis
 // loops can reuse one buffer across epochs.
+//
+//repolint:hot
 func (t *Table) CatchmentSizesInto(sizes []int) []int {
 	for i := range sizes {
 		sizes[i] = 0

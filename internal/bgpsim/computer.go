@@ -173,6 +173,8 @@ func (c *Computer) seedFrontierFromDiff() {
 }
 
 // routesEqual reports element-wise equality of two route lists.
+//
+//repolint:hot
 func routesEqual(a, b []Route) bool {
 	if len(a) != len(b) {
 		return false
@@ -186,6 +188,8 @@ func routesEqual(a, b []Route) bool {
 }
 
 // markDirty adds an AS to the pending frontier (idempotent).
+//
+//repolint:hot
 func (c *Computer) markDirty(a topo.ASN) {
 	if !c.dirty[a] {
 		c.dirty[a] = true
@@ -199,6 +203,8 @@ func (c *Computer) markDirty(a topo.ASN) {
 // which reproduces the reference full sweep's simultaneous-update
 // semantics; a committed change re-enqueues every neighbor that reads the
 // changed route.
+//
+//repolint:hot
 func (c *Computer) iterate() {
 	const maxRounds = 128
 	for round := 0; round < maxRounds && c.dirtyCount > 0; round++ {
@@ -260,6 +266,8 @@ func (c *Computer) iterate() {
 // evaluate selects an AS's best route from its own announcements and its
 // neighbors' current routes, in the reference Compute's exact
 // consideration order.
+//
+//repolint:hot
 func (c *Computer) evaluate(a topo.ASN) Route {
 	best := Route{Site: NoSite}
 	for _, r := range c.seeds[a] {

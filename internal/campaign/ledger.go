@@ -91,24 +91,25 @@ func OpenLedger(path string) (*Ledger, []Record, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: open ledger: %w", err)
 	}
+	// The file is open for writing, so even on these abort paths the Close
+	// error rides along with the primary failure instead of being dropped.
+	fail := func(e error) (*Ledger, []Record, error) {
+		return nil, nil, errors.Join(e, f.Close())
+	}
 	recs, good, err := recoverRecords(f)
 	if err != nil {
-		f.Close()
-		return nil, nil, err
+		return fail(err)
 	}
 	if err := f.Truncate(good); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("campaign: truncate torn ledger tail: %w", err)
+		return fail(fmt.Errorf("campaign: truncate torn ledger tail: %w", err))
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("campaign: seek ledger: %w", err)
+		return fail(fmt.Errorf("campaign: seek ledger: %w", err))
 	}
 	l := &Ledger{f: f}
 	if good == 0 {
 		if err := l.writeHeader(); err != nil {
-			f.Close()
-			return nil, nil, err
+			return fail(err)
 		}
 	}
 	return l, recs, nil

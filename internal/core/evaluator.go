@@ -836,6 +836,8 @@ func mix64(x uint64) uint64 {
 }
 
 // coin returns a deterministic uniform [0,1) draw for a probe key.
+//
+//repolint:hot
 func (ev *Evaluator) coin(vp atlas.VPID, letter byte, minute int, salt uint64) float64 {
 	key := uint64(ev.Cfg.Seed)*0x9E3779B97F4A7C15 ^
 		uint64(vp)<<40 ^ uint64(letter)<<32 ^ uint64(uint32(minute)) ^ salt<<56
@@ -847,6 +849,8 @@ func (ev *Evaluator) coin(vp atlas.VPID, letter byte, minute int, salt uint64) f
 // every lookup is a dense-array index (letter table, epoch index, site city,
 // VP city) and the per-server view is computed scalar-wise; a probe
 // allocates nothing.
+//
+//repolint:hot
 func (ev *Evaluator) ProbeOutcome(vp *atlas.VP, letter byte, minute int) atlas.Outcome {
 	if minute < 0 {
 		// A negative minute used to index service arrays out of bounds;
@@ -938,6 +942,8 @@ func (ev *Evaluator) cityRTT(a, b string) float64 {
 
 // cityRTTIdx is cityRTT over pre-resolved city indices (-1 = unknown), the
 // probe-hot-path form.
+//
+//repolint:hot
 func (ev *Evaluator) cityRTTIdx(a, b int32) float64 {
 	if a < 0 || b < 0 {
 		return 150

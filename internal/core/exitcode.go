@@ -30,6 +30,11 @@ const (
 	// ExitCanceled marks a run terminated by context cancellation or a
 	// deadline, not by its own failure.
 	ExitCanceled = 4
+	// ExitUsage marks a run rejected before it started: bad flags, an
+	// unreadable input, a malformed baseline. The value follows the BSD
+	// sysexits EX_USAGE convention and stays clear of the run-outcome
+	// codes above.
+	ExitUsage = 64
 )
 
 // ErrRestartBudget marks a supervised run abandoned because every restart

@@ -1,0 +1,100 @@
+package lintcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The findings baseline: pre-existing diagnostics committed to
+// lint/baseline.json so they can be burned down incrementally while any NEW
+// finding fails the build. Matching is exact — rule, file, line, column, and
+// message — as a multiset, so two identical findings need two entries. The
+// file is canonical JSON (sorted in the suite's diagnostic order, two-space
+// indent, trailing newline): regenerating without any code change is
+// byte-identical, which is what lets CI diff it.
+
+// sortDiagnostics orders diags by file, line, column, then rule — the
+// suite's canonical output order.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}
+
+// MarshalBaseline renders diags as the canonical baseline file contents.
+func MarshalBaseline(diags []Diagnostic) ([]byte, error) {
+	sorted := make([]Diagnostic, len(diags))
+	copy(sorted, diags)
+	sortDiagnostics(sorted)
+	if sorted == nil {
+		sorted = []Diagnostic{}
+	}
+	out, err := json.MarshalIndent(sorted, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// LoadBaselineFile reads and parses a baseline written by MarshalBaseline.
+// A missing file is an empty baseline, not an error, so a fresh checkout
+// lints before the first `make lint-baseline`.
+func LoadBaselineFile(path string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, fmt.Errorf("lintcheck: parsing baseline %s: %w", path, err)
+	}
+	return diags, nil
+}
+
+// DiffBaseline splits diags against the baseline multiset: fresh findings
+// (not covered by a baseline entry — these fail the build) and stale entries
+// (baseline entries whose finding no longer fires — these fail it too, so
+// the baseline only shrinks through deliberate regeneration). Both results
+// come back in canonical order.
+func DiffBaseline(diags, baseline []Diagnostic) (fresh, stale []Diagnostic) {
+	counts := make(map[Diagnostic]int, len(baseline))
+	for _, d := range baseline {
+		counts[d]++
+	}
+	for _, d := range diags {
+		if counts[d] > 0 {
+			counts[d]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	// Walk the baseline slice, not the counts map, so the leftovers come out
+	// in a deterministic order (and repolint stays clean under its own
+	// maprange rule).
+	for _, d := range baseline {
+		if counts[d] > 0 {
+			counts[d]--
+			stale = append(stale, d)
+		}
+	}
+	sortDiagnostics(fresh)
+	sortDiagnostics(stale)
+	return fresh, stale
+}

@@ -1,0 +1,186 @@
+package lintcheck
+
+// An approximate, whole-program call graph over the loaded packages, built
+// from syntax plus type information only (no SSA): static calls, function-
+// value references (a callback handed to sort.Slice or launched with go),
+// and method calls devirtualized by type — a call through an interface
+// method adds an edge to every loaded concrete implementation. Function
+// literals are attributed to the declaration they appear in, so a tainted
+// closure taints its defining function. The graph over-approximates (a
+// referenced-but-never-called function still contributes edges) and never
+// under-approximates within the loaded set, which is the right polarity for
+// "nothing reachable from the engine may touch the wall clock".
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallEdge is one caller→callee edge with the position of the reference.
+type CallEdge struct {
+	// Callee is the target function (its Origin for generic instances).
+	Callee *types.Func
+	// Pos is where the reference appears in the caller's body.
+	Pos token.Pos
+	// Via is the interface method the call was devirtualized through, or
+	// nil for a direct call or reference.
+	Via *types.Func
+}
+
+// CallNode is one declared function with a body, plus its outgoing edges in
+// source order (first reference wins; duplicates are collapsed).
+type CallNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *LoadedPackage
+	Edges []CallEdge
+}
+
+// CallGraph indexes every declared function in the loaded packages.
+type CallGraph struct {
+	// Nodes maps each declared function, by FuncKey, to its node. Keying by
+	// name rather than object identity is deliberate: a function referenced
+	// across packages resolves to an export-data object distinct from the
+	// one its own package's source check produced, and the two must land on
+	// the same node. Functions without a body (externally implemented,
+	// interface methods) have no node and act as leaves.
+	Nodes map[string]*CallNode
+	// Funcs lists the nodes in deterministic order: package load order,
+	// then file order, then declaration order.
+	Funcs []*CallNode
+}
+
+// FuncKey is the stable cross-package identity of a function: its
+// package-path-qualified full name, normalized to the generic origin.
+func FuncKey(fn *types.Func) string {
+	return fn.Origin().FullName()
+}
+
+// BuildCallGraph constructs the approximate call graph for pkgs.
+func BuildCallGraph(pkgs []*LoadedPackage) *CallGraph {
+	g := &CallGraph{Nodes: make(map[string]*CallNode)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CallNode{Fn: fn, Decl: fd, Pkg: pkg}
+				g.Nodes[FuncKey(fn)] = node
+				g.Funcs = append(g.Funcs, node)
+			}
+		}
+	}
+
+	devirt := newDevirtualizer(pkgs)
+	for _, node := range g.Funcs {
+		info := node.Pkg.Info
+		seen := make(map[string]bool)
+		addEdge := func(callee *types.Func, pos token.Pos, via *types.Func) {
+			if callee == nil {
+				return
+			}
+			callee = callee.Origin()
+			key := FuncKey(callee)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			node.Edges = append(node.Edges, CallEdge{Callee: callee, Pos: pos, Via: via})
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if iface := ifaceMethod(fn); iface != nil {
+				// Devirtualize: edge to every loaded concrete method
+				// implementing this interface method.
+				for _, impl := range devirt.implementations(fn) {
+					addEdge(impl, id.Pos(), fn)
+				}
+				return true
+			}
+			addEdge(fn, id.Pos(), nil)
+			return true
+		})
+	}
+	return g
+}
+
+// ifaceMethod returns fn's receiver interface when fn is an interface
+// method, nil otherwise.
+func ifaceMethod(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// devirtualizer resolves interface methods to the concrete methods of every
+// loaded named type implementing the interface.
+type devirtualizer struct {
+	concrete []*types.Named
+	cache    map[*types.Func][]*types.Func
+}
+
+func newDevirtualizer(pkgs []*LoadedPackage) *devirtualizer {
+	d := &devirtualizer{cache: make(map[*types.Func][]*types.Func)}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) || named.TypeParams().Len() > 0 {
+				continue
+			}
+			d.concrete = append(d.concrete, named)
+		}
+	}
+	return d
+}
+
+// implementations returns the concrete methods satisfying interface method
+// m among the loaded named types, in the deterministic type-collection
+// order.
+func (d *devirtualizer) implementations(m *types.Func) []*types.Func {
+	if got, ok := d.cache[m]; ok {
+		return got
+	}
+	iface := ifaceMethod(m)
+	var out []*types.Func
+	if iface != nil {
+		for _, named := range d.concrete {
+			ptr := types.NewPointer(named)
+			if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			// The pointer method set contains both value- and
+			// pointer-receiver methods.
+			sel := types.NewMethodSet(ptr).Lookup(m.Pkg(), m.Name())
+			if sel == nil {
+				continue
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				out = append(out, fn.Origin())
+			}
+		}
+	}
+	d.cache[m] = out
+	return out
+}

@@ -1,0 +1,55 @@
+package lintcheck
+
+import (
+	"go/ast"
+)
+
+// ExitCodeAnalyzer enforces the process-exit contract in the harness
+// binaries (Config.ExitContract, the cmd/ tree): exit statuses are parsed by
+// the campaign supervisor and CI scripts, so they must come from the named
+// core.Exit* constants — never a bare numeric literal — and never from
+// log.Fatal, which hard-exits 1 while skipping the deferred cleanup the
+// atomic-output discipline depends on.
+func ExitCodeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "exitcode",
+		Doc:  "cmd/ exits through the core.Exit* contract: no bare numeric os.Exit, no log.Fatal",
+		Run:  runExitCode,
+	}
+}
+
+var logFatalFuncs = map[string]bool{
+	"Fatal":   true,
+	"Fatalf":  true,
+	"Fatalln": true,
+}
+
+func runExitCode(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if !exempt(pass.RelFile(file.Pos()), pass.Cfg.ExitContract) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(fn, "os", "Exit") && len(call.Args) == 1:
+				if _, bare := ast.Unparen(call.Args[0]).(*ast.BasicLit); bare {
+					pass.Reportf("exitcode", call.Pos(),
+						"bare numeric exit status; the supervisor and CI parse exit codes, so use the named core.Exit* constants")
+				}
+			case isPkgFunc(fn, "log", fn.Name()) && logFatalFuncs[fn.Name()]:
+				pass.Reportf("exitcode", call.Pos(),
+					"log.%s exits 1 without running deferred cleanup or classifying the failure; log the error and exit through the core.Exit* contract", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeakAnalyzer flags go statements with no visible join path: neither
+// the statement itself (the launched literal plus its arguments) nor the
+// body of a same-package function it launches mentions a channel operation,
+// a context.Context, or a sync.WaitGroup. Such a goroutine cannot be waited
+// for or cancelled, so it outlives the run that spawned it — in the engine
+// that means work escaping the worker pool's accounting, and in a harness
+// it means a SIGKILL test racing a writer nobody joined.
+func GoroLeakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "no goroutine launched without a visible join path (context, channel operation, or WaitGroup)",
+		Run:  runGoroLeak,
+	}
+}
+
+func runGoroLeak(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Same-package function bodies, for the one-level scan of `go f(...)`.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if hasJoinEvidence(info, g) {
+				return true
+			}
+			if fn := calleeFunc(info, g.Call); fn != nil {
+				if fd := decls[fn.Origin()]; fd != nil && hasJoinEvidence(info, fd.Body) {
+					return true
+				}
+			}
+			pass.Reportf("goroleak", g.Pos(),
+				"goroutine has no visible join path (no context, channel operation, or WaitGroup in the go statement or the launched function); nothing can wait for or cancel it")
+			return true
+		})
+	}
+}
+
+// hasJoinEvidence reports whether n contains anything a joined goroutine
+// would touch: a channel send/receive/close, a select, or an identifier of
+// channel, context.Context, or sync.WaitGroup type.
+func hasJoinEvidence(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		switch c := c.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[c.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := identObj(info, c); obj != nil && isJoinType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isJoinType reports whether t is a channel, context.Context, or
+// sync.WaitGroup (possibly behind one pointer).
+func isJoinType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = deref(t)
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "context" && name == "Context") ||
+		(path == "sync" && name == "WaitGroup")
+}

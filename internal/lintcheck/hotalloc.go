@@ -1,0 +1,86 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotDirective marks a function as a per-probe hot path that must stay
+// structurally allocation-free (placed in the function's doc comment).
+const hotDirective = "//repolint:hot"
+
+// HotAllocAnalyzer protects the allocation-free hot paths behind the bench
+// gate: any function annotated `//repolint:hot` may not contain append,
+// make, new, a map or slice composite literal, or a function literal. The
+// bench gate catches a regression's symptom (allocs/op > 0); this rule
+// names the line that caused it, before the benchmark ever runs.
+func HotAllocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "//repolint:hot functions stay allocation-free: no append, make, new, map/slice literals, or closures",
+		Run:  runHotAlloc,
+	}
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) {
+				continue
+			}
+			checkHotBody(pass, info, fd)
+		}
+	}
+}
+
+// isHot reports whether fd's doc comment carries the hot directive.
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf("hotalloc", n.Pos(),
+				"function literal in a %s function allocates its closure per call; hoist it to a named function", hotDirective)
+			return false // the literal's own body is not hot
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf("hotalloc", n.Pos(),
+						"map literal allocates in a %s function; use pooled scratch indexed by dense key", hotDirective)
+				case *types.Slice:
+					pass.Reportf("hotalloc", n.Pos(),
+						"slice literal allocates in a %s function; write into a caller-provided buffer", hotDirective)
+				}
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch id.Name {
+			case "append", "make", "new":
+				pass.Reportf("hotalloc", n.Pos(),
+					"%s allocates in a %s function; the bench gate holds this path to zero allocs/op", id.Name, hotDirective)
+			}
+		}
+		return true
+	})
+}

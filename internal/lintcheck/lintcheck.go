@@ -1,48 +1,7 @@
-// Package lintcheck is a stdlib-only static-analysis suite that mechanically
-// enforces the repository's determinism, error-hygiene, panic-policy, and API
-// invariants. The reproduction's headline guarantee — byte-identical
-// Run/Measure output for any worker count, under any fault plan — rests on
-// hand-maintained conventions (every RNG seeded, no wall clock in the
-// simulation plane, no map-iteration order escaping into results). This
-// package turns those conventions into build failures.
-//
-// The suite is built purely against the standard library (go/parser, go/ast,
-// go/types); packages and their type information are loaded through
-// `go list -export` (see load.go), so go.mod keeps zero dependencies.
-//
-// Rules (each diagnostic carries the rule name; suppress a single site with a
-// `//repolint:allow <rule>` comment on the same line or the line above):
-//
-//   - wallclock:    time.Now is forbidden outside the live-socket and harness
-//     allowlist. The simulation plane models time as minute bins; a wall-clock
-//     read there silently destroys replayability.
-//   - globalrand:   package-level math/rand functions (rand.Int63, rand.Seed,
-//     …) draw from the shared, racily-seeded global source. Every RNG must be
-//     an explicitly seeded *rand.Rand.
-//   - unseededrand: rand.New's source must be a direct rand.NewSource(seed)
-//     call, so the seed is visible at the construction site.
-//   - maprange:     ranging over a map and appending to a slice that is then
-//     returned without an intervening sort.* call leaks map-iteration order
-//     into results.
-//   - mapiter:      in packages with pooled, reusable computation scratch
-//     (internal/bgpsim), ranging over a map is banned outright: a reused
-//     buffer filled in map order poisons every later consumer, which the
-//     escape-based maprange rule cannot see.
-//   - errwrap:      fmt.Errorf with an error-typed argument must use %w so
-//     errors.Is/errors.As see through the wrap.
-//   - sentinel:     package-level sentinel error variables must be built with
-//     errors.New, not fmt.Errorf.
-//   - panic:        no panic() in internal/ outside the shape-invariant
-//     assertions allowlisted in internal/stats.
-//   - ctxfirst:     context.Context must be the first parameter.
-//   - mutexcopy:    no sync.Mutex (or type containing one) passed or returned
-//     by value.
-//   - atomicwrite:  in command-line harnesses, whole-file writes must go
-//     through internal/atomicio (temp + fsync + rename) instead of bare
-//     os.Create / os.WriteFile, so a killed run never leaves torn output.
-//   - deprecatedatlas: the per-cell row accessors on atlas.Dataset (At,
-//     RawAt, EachVP) are deprecated outside internal/atlas; new scans must
-//     use the columnar Rows / RawRows cursors.
+// This file holds the shared analysis machinery: diagnostics, configuration,
+// the per-package and whole-program pass types, the rule registry, and the
+// type-query helpers every analyzer uses. The suite's documentation lives in
+// doc.go.
 package lintcheck
 
 import (
@@ -91,6 +50,19 @@ type Config struct {
 	// internal/atlas itself keeps the old accessors alive (and exercises
 	// them against the cursors in its equivalence tests).
 	DeprecatedAtlasAllow []string
+	// TransitiveRoots lists the engine/simulation entry-point prefixes. The
+	// transitive determinism analyzer walks the call graph from every
+	// function declared under these prefixes and diagnoses any chain that
+	// reaches a forbidden time/randomness source, printing the chain.
+	TransitiveRoots []string
+	// SyncCloseBan lists the crash-safety prefixes where a discarded
+	// Close/Sync error on a writable file (or on a durability type the
+	// packages define) is forbidden (the syncclose rule).
+	SyncCloseBan []string
+	// ExitContract lists prefixes (the cmd/ harnesses) that must exit
+	// through the documented core.Exit* contract (the exitcode rule): no
+	// bare numeric os.Exit statuses, no log.Fatal.
+	ExitContract []string
 }
 
 // DefaultConfig is the repository policy: wall clock is allowed in the
@@ -110,14 +82,36 @@ func DefaultConfig() Config {
 		// The deprecated row accessors live (and are tested) in the atlas
 		// package; everywhere else new code must use the cursors.
 		DeprecatedAtlasAllow: []string{"internal/atlas"},
+		// The packages whose functions anchor every reproduction claim:
+		// the parallel engine, the routing and queue models, the
+		// measurement store, and the campaign grid expansion. Anything
+		// they can reach — however many frames down — is simulation
+		// plane.
+		TransitiveRoots: []string{
+			"internal/core", "internal/bgpsim", "internal/netsim",
+			"internal/atlas", "internal/campaign",
+		},
+		// The crash-safety triangle: the atomic writer, the campaign
+		// ledger, and the checkpoint store. A swallowed Close/Sync error
+		// there is a durability claim silently broken.
+		SyncCloseBan: []string{
+			"internal/atomicio", "internal/campaign", "internal/checkpoint",
+		},
+		// Harness exit statuses are parsed by the campaign supervisor and
+		// CI scripts; they are part of the core.Exit* contract.
+		ExitContract: []string{"cmd/"},
 	}
 }
 
-// Analyzer is one named pass over a type-checked package.
+// Analyzer is one named pass. Run analyzes one package at a time;
+// RunProgram, when set, runs once over the whole loaded program with the
+// shared call graph (the transitive analyses). An analyzer sets one or the
+// other.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*Program)
 }
 
 // Pass carries one package through one analyzer and collects reports.
@@ -151,6 +145,59 @@ func (p *Pass) Reportf(rule string, pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Program carries the whole loaded package set through one whole-program
+// analyzer, with the shared approximate call graph.
+type Program struct {
+	Pkgs  []*LoadedPackage
+	Cfg   Config
+	Graph *CallGraph
+
+	// byFile maps each module-relative file path to its owning package, so
+	// program-level reports honor that file's //repolint:allow comments.
+	byFile map[string]*LoadedPackage
+	diags  []Diagnostic
+}
+
+// NewProgram assembles the whole-program analysis state, building the call
+// graph over every loaded package.
+func NewProgram(pkgs []*LoadedPackage, cfg Config) *Program {
+	prog := &Program{
+		Pkgs:   pkgs,
+		Cfg:    cfg,
+		Graph:  BuildCallGraph(pkgs),
+		byFile: make(map[string]*LoadedPackage),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			prog.byFile[pkg.relFile(f.Pos())] = pkg
+		}
+	}
+	return prog
+}
+
+// Reportf records a program-level diagnostic for rule at pos unless an allow
+// comment in the owning file suppresses it.
+func (p *Program) Reportf(rule string, pos token.Pos, format string, args ...any) {
+	if len(p.Pkgs) == 0 {
+		return
+	}
+	// All packages share one FileSet and module root (see Load), so any
+	// package resolves the position.
+	anchor := p.Pkgs[0]
+	position := anchor.Fset.Position(pos)
+	rel := anchor.relFile(pos)
+	if pkg := p.byFile[rel]; pkg != nil && pkg.allowed(rel, position.Line, rule) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Rule:    rule,
+		File:    rel,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // exempt reports whether rel (a module-relative slash path) falls under any
 // of the given path prefixes.
 func exempt(rel string, prefixes []string) bool {
@@ -166,12 +213,50 @@ func exempt(rel string, prefixes []string) bool {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
+		TransitiveDeterminismAnalyzer(),
 		ErrHygieneAnalyzer(),
 		PanicPolicyAnalyzer(),
 		APIHygieneAnalyzer(),
 		AtomicWriteAnalyzer(),
 		DeprecatedAtlasAnalyzer(),
+		SyncCloseAnalyzer(),
+		GoroLeakAnalyzer(),
+		ExitCodeAnalyzer(),
+		HotAllocAnalyzer(),
 	}
+}
+
+// RuleDoc is one diagnosable rule name with its one-line description and the
+// analyzer that owns it — the `repolint -rules` listing.
+type RuleDoc struct {
+	Name     string `json:"name"`
+	Doc      string `json:"doc"`
+	Analyzer string `json:"analyzer"`
+}
+
+// RuleDocs returns every rule the suite can emit, sorted by name. The README
+// "Determinism invariants" table is kept in sync against this listing.
+func RuleDocs() []RuleDoc {
+	docs := []RuleDoc{
+		{"wallclock", "no time.Now in the simulation plane; also enforced transitively from the engine entry points", "determinism"},
+		{"globalrand", "no package-level math/rand draws from the shared global source; also enforced transitively", "determinism"},
+		{"unseededrand", "rand.New's source must be a direct rand.NewSource(seed) call; also enforced transitively", "determinism"},
+		{"maprange", "no returning a slice appended in map-iteration order without a sort.* call", "determinism"},
+		{"mapiter", "no map iteration at all in pooled-scratch packages (internal/bgpsim)", "determinism"},
+		{"errwrap", "fmt.Errorf with an error-typed argument must use %w", "errhygiene"},
+		{"sentinel", "package-level sentinel errors must be errors.New, not fmt.Errorf", "errhygiene"},
+		{"panic", "no panic() in internal/ outside the allowlist", "panicpolicy"},
+		{"ctxfirst", "context.Context must be the first parameter", "apihygiene"},
+		{"mutexcopy", "no sync primitive (or type containing one) passed or returned by value", "apihygiene"},
+		{"atomicwrite", "whole-file writes in cmd/ harnesses go through internal/atomicio, not bare os.Create/os.WriteFile", "atomicwrite"},
+		{"deprecatedatlas", "no new uses of the deprecated atlas.Dataset row accessors; scan through the columnar cursors", "deprecatedatlas"},
+		{"syncclose", "no discarded Close/Sync error on writable files or durability types in the crash-safety packages", "syncclose"},
+		{"goroleak", "no goroutine launched without a visible join path (context, channel, or WaitGroup)", "goroleak"},
+		{"exitcode", "cmd/ exits through the core.Exit* contract: no bare numeric os.Exit, no log.Fatal", "exitcode"},
+		{"hotalloc", "//repolint:hot functions stay allocation-free: no append, make, new, map/slice literals, or closures", "hotalloc"},
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	return docs
 }
 
 // Run applies every analyzer to every package and returns the surviving
@@ -180,28 +265,35 @@ func Run(pkgs []*LoadedPackage, cfg Config) []Diagnostic {
 	return RunAnalyzers(pkgs, Analyzers(), cfg)
 }
 
-// RunAnalyzers applies a specific analyzer set.
+// RunAnalyzers applies a specific analyzer set. Per-package analyzers run
+// over each package; whole-program analyzers run once, sharing one call
+// graph, built only when some analyzer needs it.
 func RunAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer, cfg Config) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, Cfg: cfg}
 			a.Run(pass)
 			out = append(out, pass.diags...)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].File != out[j].File {
-			return out[i].File < out[j].File
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
 		}
-		if out[i].Line != out[j].Line {
-			return out[i].Line < out[j].Line
+		if prog == nil {
+			prog = NewProgram(pkgs, cfg)
 		}
-		if out[i].Col != out[j].Col {
-			return out[i].Col < out[j].Col
-		}
-		return out[i].Rule < out[j].Rule
-	})
+		a.RunProgram(prog)
+	}
+	if prog != nil {
+		out = append(out, prog.diags...)
+	}
+	sortDiagnostics(out)
 	return out
 }
 

@@ -2,6 +2,7 @@ package lintcheck
 
 import (
 	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -168,9 +169,12 @@ func TestAtomicWriteFixture(t *testing.T) {
 	}
 }
 
-// TestRepolintSelfClean runs the full suite over the whole repository. Every
-// future PR inherits this test, so a change that reintroduces a wall-clock
-// read, an unseeded RNG, or a stray panic fails the build here.
+// TestRepolintSelfClean runs the full suite over the whole repository and
+// diffs against the committed findings baseline. Every future PR inherits
+// this test, so a change that reintroduces a wall-clock read, an unseeded
+// RNG, or a stray panic fails the build here — and so does fixing a
+// baselined finding without regenerating lint/baseline.json (the stale
+// guard keeps the baseline honest in both directions).
 func TestRepolintSelfClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -187,8 +191,16 @@ func TestRepolintSelfClean(t *testing.T) {
 		t.Fatalf("Load ./... returned only %d packages; loader is dropping targets", len(pkgs))
 	}
 	diags := Run(pkgs, DefaultConfig())
-	for _, d := range diags {
-		t.Errorf("repolint violation: %s", d)
+	baseline, err := LoadBaselineFile(filepath.Join(root, "lint", "baseline.json"))
+	if err != nil {
+		t.Fatalf("loading baseline: %v", err)
+	}
+	fresh, stale := DiffBaseline(diags, baseline)
+	for _, d := range fresh {
+		t.Errorf("repolint violation not in baseline: %s", d)
+	}
+	for _, d := range stale {
+		t.Errorf("stale baseline entry (finding no longer fires; run `make lint-baseline`): %s", d)
 	}
 }
 

@@ -1,0 +1,313 @@
+package lintcheck
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// assertKeys compares diagnostics against expected (rule, file, line) keys
+// in output order.
+func assertKeys(t *testing.T, diags []Diagnostic, want []key) {
+	t.Helper()
+	got := diagKeys(diags)
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(want), diags)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSyncCloseFixture checks the syncclose rule with a Config that bans
+// discarded Close/Sync there (the fixture stands in for the crash-safety
+// packages DefaultConfig covers).
+func TestSyncCloseFixture(t *testing.T) {
+	const dir = "internal/lintcheck/testdata/syncclose"
+	cfg := DefaultConfig()
+	cfg.SyncCloseBan = append(cfg.SyncCloseBan, dir)
+	diags := Run(loadFixture(t, "./"+dir), cfg)
+	assertKeys(t, diags, []key{
+		{"syncclose", dir + "/bad.go", 20},
+		{"syncclose", dir + "/bad.go", 27},
+		{"syncclose", dir + "/bad.go", 32},
+	})
+	// Outside the banned prefixes the fixture is clean: the rule is scoped.
+	if diags := Run(loadFixture(t, "./"+dir), DefaultConfig()); len(diags) != 0 {
+		t.Errorf("unbanned fixture still produced diagnostics: %v", diags)
+	}
+}
+
+// TestGoroLeakFixture checks the goroleak rule, which is unscoped: only the
+// two goroutines with no join path are flagged, not the channel-, WaitGroup-,
+// or context-joined ones, and not the launch whose evidence sits one level
+// down in the launched function's body.
+func TestGoroLeakFixture(t *testing.T) {
+	const dir = "internal/lintcheck/testdata/goroleak"
+	diags := Run(loadFixture(t, "./"+dir), DefaultConfig())
+	assertKeys(t, diags, []key{
+		{"goroleak", dir + "/bad.go", 13},
+		{"goroleak", dir + "/bad.go", 20},
+	})
+}
+
+// TestExitCodeFixture checks the exitcode rule with a Config that applies
+// the exit contract there (the fixture stands in for cmd/).
+func TestExitCodeFixture(t *testing.T) {
+	const dir = "internal/lintcheck/testdata/exitcode"
+	cfg := DefaultConfig()
+	cfg.ExitContract = append(cfg.ExitContract, dir)
+	diags := Run(loadFixture(t, "./"+dir), cfg)
+	assertKeys(t, diags, []key{
+		{"exitcode", dir + "/bad.go", 15},
+		{"exitcode", dir + "/bad.go", 20},
+	})
+	// Outside the contract prefixes the fixture is clean: the rule is scoped.
+	if diags := Run(loadFixture(t, "./"+dir), DefaultConfig()); len(diags) != 0 {
+		t.Errorf("unscoped fixture still produced diagnostics: %v", diags)
+	}
+}
+
+// TestHotAllocFixture checks the hotalloc rule: every allocating construct
+// in the //repolint:hot function, nothing in the unannotated or clean ones.
+func TestHotAllocFixture(t *testing.T) {
+	const dir = "internal/lintcheck/testdata/hotalloc"
+	diags := Run(loadFixture(t, "./"+dir), DefaultConfig())
+	assertKeys(t, diags, []key{
+		{"hotalloc", dir + "/bad.go", 10},
+		{"hotalloc", dir + "/bad.go", 11},
+		{"hotalloc", dir + "/bad.go", 12},
+		{"hotalloc", dir + "/bad.go", 13},
+		{"hotalloc", dir + "/bad.go", 14},
+		{"hotalloc", dir + "/bad.go", 15},
+	})
+}
+
+// TestTransitiveFixture is the acceptance fixture for the call-graph layer:
+// time.Now is reached from Entry only through two intermediate functions and
+// a devirtualized interface method, and the diagnostic prints the full
+// chain. The per-site rules still fire at the leaves; the transitive reports
+// land at each root's first hop into the chain.
+func TestTransitiveFixture(t *testing.T) {
+	const dir = "internal/lintcheck/testdata/transitive"
+	cfg := DefaultConfig()
+	cfg.TransitiveRoots = append(cfg.TransitiveRoots, dir)
+	diags := Run(loadFixture(t, "./"+dir+"/..."), cfg)
+	assertKeys(t, diags, []key{
+		{"wallclock", dir + "/bad.go", 24},                // root wallTicker.Tick
+		{"wallclock", dir + "/bad.go", 30},                // root Entry, 3 hops
+		{"wallclock", dir + "/bad.go", 34},                // root timestamp, devirtualized hop
+		{"globalrand", dir + "/bad.go", 39},               // root Jitter
+		{"globalrand", dir + "/bad.go", 43},               // per-site leaf
+		{"wallclock", dir + "/clockutil/clockutil.go", 9}, // per-site leaf
+	})
+
+	var entry Diagnostic
+	for _, d := range diags {
+		if d.Line == 30 {
+			entry = d
+		}
+	}
+	const chain = "Entry -> timestamp -> ticker.Tick => wallTicker.Tick -> clockutil.Stamp"
+	if !strings.Contains(entry.Message, chain) {
+		t.Errorf("Entry diagnostic does not print the chain %q:\n%s", chain, entry.Message)
+	}
+	if !strings.Contains(entry.Message, "time.Now") ||
+		!strings.Contains(entry.Message, dir+"/clockutil/clockutil.go:9") {
+		t.Errorf("Entry diagnostic does not name the forbidden source and its site:\n%s", entry.Message)
+	}
+
+	// Without the fixture in TransitiveRoots only the per-site leaves fire:
+	// the transitive reports are scoped to the engine entry points.
+	diags = Run(loadFixture(t, "./"+dir+"/..."), DefaultConfig())
+	assertKeys(t, diags, []key{
+		{"globalrand", dir + "/bad.go", 43},
+		{"wallclock", dir + "/clockutil/clockutil.go", 9},
+	})
+}
+
+// TestMarshalBaselineCanonical pins the canonical form: input order does not
+// matter, output is sorted, two-space indented, newline-terminated, and
+// byte-identical across regenerations.
+func TestMarshalBaselineCanonical(t *testing.T) {
+	a := Diagnostic{Rule: "wallclock", File: "a.go", Line: 3, Col: 2, Message: "m1"}
+	b := Diagnostic{Rule: "panic", File: "a.go", Line: 9, Col: 1, Message: "m2"}
+	first, err := MarshalBaseline([]Diagnostic{b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := MarshalBaseline([]Diagnostic{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("baseline not canonical across input orders:\n%s\n---\n%s", first, second)
+	}
+	if !bytes.HasSuffix(first, []byte("\n")) {
+		t.Error("baseline missing trailing newline")
+	}
+	if idx := bytes.Index(first, []byte(`"rule": "wallclock"`)); idx < 0 ||
+		idx > bytes.Index(first, []byte(`"rule": "panic"`)) {
+		t.Errorf("baseline not sorted in diagnostic order:\n%s", first)
+	}
+
+	empty, err := MarshalBaseline(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != "[]\n" {
+		t.Errorf("empty baseline = %q, want %q", empty, "[]\n")
+	}
+}
+
+// TestLoadBaselineFile covers the round trip and the missing-file case.
+func TestLoadBaselineFile(t *testing.T) {
+	want := []Diagnostic{
+		{Rule: "wallclock", File: "a.go", Line: 3, Col: 2, Message: "m"},
+	}
+	data, err := MarshalBaseline(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+
+	missing, err := LoadBaselineFile(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || missing != nil {
+		t.Errorf("missing baseline = (%v, %v), want empty", missing, err)
+	}
+}
+
+// TestDiffBaseline pins the multiset semantics: covered findings vanish,
+// uncovered findings are fresh, unmatched entries are stale, and duplicate
+// findings need duplicate entries.
+func TestDiffBaseline(t *testing.T) {
+	d1 := Diagnostic{Rule: "exitcode", File: "cmd/a/main.go", Line: 5, Col: 2, Message: "m"}
+	d2 := Diagnostic{Rule: "exitcode", File: "cmd/b/main.go", Line: 8, Col: 2, Message: "m"}
+
+	fresh, stale := DiffBaseline([]Diagnostic{d1, d2}, []Diagnostic{d1, d2})
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("exact cover: fresh=%v stale=%v", fresh, stale)
+	}
+
+	fresh, stale = DiffBaseline([]Diagnostic{d1, d2}, []Diagnostic{d1})
+	if len(fresh) != 1 || fresh[0] != d2 || len(stale) != 0 {
+		t.Errorf("uncovered finding: fresh=%v stale=%v", fresh, stale)
+	}
+
+	fresh, stale = DiffBaseline([]Diagnostic{d1}, []Diagnostic{d1, d2})
+	if len(fresh) != 0 || len(stale) != 1 || stale[0] != d2 {
+		t.Errorf("fixed finding: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// Two identical findings against one entry: the second is fresh.
+	fresh, stale = DiffBaseline([]Diagnostic{d1, d1}, []Diagnostic{d1})
+	if len(fresh) != 1 || len(stale) != 0 {
+		t.Errorf("multiset: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+// TestRuleDocs pins the -rules listing: sorted, unique, every name owned by
+// an analyzer that actually runs.
+func TestRuleDocs(t *testing.T) {
+	docs := RuleDocs()
+	if len(docs) != 16 {
+		t.Fatalf("RuleDocs() returned %d rules, want 16", len(docs))
+	}
+	owners := make(map[string]bool)
+	for _, a := range Analyzers() {
+		owners[a.Name] = true
+	}
+	seen := make(map[string]bool)
+	for i, d := range docs {
+		if i > 0 && docs[i-1].Name >= d.Name {
+			t.Errorf("RuleDocs not sorted at %q", d.Name)
+		}
+		if seen[d.Name] {
+			t.Errorf("duplicate rule %q", d.Name)
+		}
+		seen[d.Name] = true
+		if !owners[d.Analyzer] {
+			t.Errorf("rule %q claims unknown analyzer %q", d.Name, d.Analyzer)
+		}
+		if d.Doc == "" {
+			t.Errorf("rule %q has no doc line", d.Name)
+		}
+	}
+	for _, rule := range []string{"wallclock", "syncclose", "goroleak", "exitcode", "hotalloc"} {
+		if !seen[rule] {
+			t.Errorf("RuleDocs missing %q", rule)
+		}
+	}
+}
+
+// TestAllowsAudit checks the -allows listing against the allowed fixture,
+// including justification capture.
+func TestAllowsAudit(t *testing.T) {
+	const dir = "internal/lintcheck/testdata/allowed"
+	sites := Allows(loadFixture(t, "./"+dir))
+	if len(sites) != 3 {
+		t.Fatalf("Allows() returned %d sites, want 3:\n%+v", len(sites), sites)
+	}
+	for i, s := range sites {
+		if s.File != dir+"/suppressed.go" {
+			t.Errorf("site %d in unexpected file %s", i, s.File)
+		}
+		if len(s.Rules) == 0 {
+			t.Errorf("site %d has no rules", i)
+		}
+		if !strings.Contains(s.Justification, "fixture") {
+			t.Errorf("site %d justification %q not captured", i, s.Justification)
+		}
+		if i > 0 && sites[i-1].Line >= s.Line {
+			t.Errorf("sites not in line order at %d", i)
+		}
+	}
+	if sites[0].Rules[0] != "wallclock" || sites[2].Rules[0] != "panic" {
+		t.Errorf("rule capture wrong: %+v", sites)
+	}
+}
+
+// TestDefaultConfigScopesV2 pins the v2 policy additions: which prefixes are
+// transitive roots, crash-safety packages, and exit-contract holders.
+func TestDefaultConfigScopesV2(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, pre := range []string{
+		"internal/core", "internal/bgpsim", "internal/netsim",
+		"internal/atlas", "internal/campaign",
+	} {
+		if !exempt(pre+"/x.go", cfg.TransitiveRoots) {
+			t.Errorf("TransitiveRoots should cover %s", pre)
+		}
+	}
+	if exempt("internal/dnsserver/server.go", cfg.TransitiveRoots) {
+		t.Error("TransitiveRoots must not cover internal/dnsserver (live-socket plane)")
+	}
+	for _, pre := range []string{"internal/atomicio", "internal/campaign", "internal/checkpoint"} {
+		if !exempt(pre+"/x.go", cfg.SyncCloseBan) {
+			t.Errorf("SyncCloseBan should cover %s", pre)
+		}
+	}
+	if exempt("internal/stats/stats.go", cfg.SyncCloseBan) {
+		t.Error("SyncCloseBan must not cover internal/stats")
+	}
+	if !exempt("cmd/rootevent/main.go", cfg.ExitContract) {
+		t.Error("ExitContract should cover cmd/")
+	}
+	if exempt("internal/core/exitcode.go", cfg.ExitContract) {
+		t.Error("ExitContract must not cover internal/ (the constants live there)")
+	}
+}

@@ -32,6 +32,18 @@ type LoadedPackage struct {
 	// allow maps module-relative file path -> line -> rule names permitted
 	// by //repolint:allow comments on that line.
 	allow map[string]map[int]map[string]bool
+	// allowSites lists the same comments in source order, with their
+	// justifications, for the `repolint -allows` audit.
+	allowSites []AllowSite
+}
+
+// AllowSite is one //repolint:allow comment: where it is, which rules it
+// suppresses, and the justification given after "--".
+type AllowSite struct {
+	File          string   `json:"file"`
+	Line          int      `json:"line"`
+	Rules         []string `json:"rules"`
+	Justification string   `json:"justification,omitempty"`
 }
 
 func (p *LoadedPackage) relFile(pos token.Pos) string {
@@ -78,25 +90,34 @@ func (p *LoadedPackage) collectAllows() {
 				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 					continue // e.g. //repolint:allowother
 				}
+				var justification string
 				if i := strings.Index(rest, "--"); i >= 0 {
+					justification = strings.TrimSpace(rest[i+len("--"):])
 					rest = rest[:i]
 				}
 				rel := p.relFile(c.Pos())
 				line := p.Fset.Position(c.Pos()).Line
-				for _, rule := range strings.FieldsFunc(rest, func(r rune) bool {
+				rules := strings.FieldsFunc(rest, func(r rune) bool {
 					return r == ' ' || r == '\t' || r == ','
-				}) {
+				})
+				if len(rules) > 0 {
+					p.allowSites = append(p.allowSites, AllowSite{
+						File: rel, Line: line, Rules: rules,
+						Justification: justification,
+					})
+				}
+				for _, rule := range rules {
 					lines := p.allow[rel]
 					if lines == nil {
 						lines = make(map[int]map[string]bool)
 						p.allow[rel] = lines
 					}
-					rules := lines[line]
-					if rules == nil {
-						rules = make(map[string]bool)
-						lines[line] = rules
+					byRule := lines[line]
+					if byRule == nil {
+						byRule = make(map[string]bool)
+						lines[line] = byRule
 					}
-					rules[rule] = true
+					byRule[rule] = true
 				}
 			}
 		}
@@ -212,4 +233,20 @@ func Load(root string, patterns ...string) ([]*LoadedPackage, error) {
 		out = append(out, lp)
 	}
 	return out, nil
+}
+
+// Allows returns every //repolint:allow comment across pkgs, sorted by file
+// then line — the `repolint -allows` suppression audit.
+func Allows(pkgs []*LoadedPackage) []AllowSite {
+	var out []AllowSite
+	for _, pkg := range pkgs {
+		out = append(out, pkg.allowSites...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }

@@ -1,0 +1,122 @@
+package lintcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SyncCloseAnalyzer enforces durability hygiene in the crash-safety packages
+// (Config.SyncCloseBan): a Close or Sync whose error result is discarded —
+// as a bare statement, a defer, or a go statement — on a writable *os.File
+// or on a durability type the module defines. Close is where a buffered
+// write failure finally surfaces; dropping it silently breaks the
+// fsync-before-rename guarantee the kill/resume soak depends on. Files
+// obtained from os.Open in the same function are read-only and exempt.
+func SyncCloseAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "syncclose",
+		Doc:  "no discarded Close/Sync error on writable files or module durability types in the crash-safety packages",
+		Run:  runSyncClose,
+	}
+}
+
+func runSyncClose(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if !exempt(pass.RelFile(file.Pos()), pass.Cfg.SyncCloseBan) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			readOnly := openedReadOnly(info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = n.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call = n.Call
+				case *ast.GoStmt:
+					call = n.Call
+				default:
+					return true
+				}
+				if call == nil || len(call.Args) != 0 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || (fn.Name() != "Close" && fn.Name() != "Sync") {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil || sig.Results().Len() != 1 ||
+					!isErrorType(sig.Results().At(0).Type()) {
+					return true
+				}
+				recv := deref(sig.Recv().Type())
+				named, ok := recv.(*types.Named)
+				if !ok || named.Obj().Pkg() == nil {
+					return true
+				}
+				pkgPath := named.Obj().Pkg().Path()
+				switch {
+				case pkgPath == "os" && named.Obj().Name() == "File":
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						if obj := identObj(info, id); obj != nil && readOnly[obj] {
+							return true
+						}
+					}
+				case strings.Contains(strings.SplitN(pkgPath, "/", 2)[0], "."):
+					// A module-defined (or other non-stdlib) durability type.
+				default:
+					return true
+				}
+				pass.Reportf("syncclose", call.Pos(),
+					"discarded %s error on %s.%s: a buffered write failure surfaces here and nowhere else; join it into the returned error or justify with //repolint:allow syncclose",
+					fn.Name(), named.Obj().Name(), fn.Name())
+				return true
+			})
+		}
+	}
+}
+
+// openedReadOnly collects the objects in fn assigned directly from os.Open —
+// read-only handles whose Close error carries no durability information.
+func openedReadOnly(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isPkgFunc(calleeFunc(info, call), "os", "Open") {
+			return true
+		}
+		if len(asg.Lhs) > 0 {
+			if id, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident); ok {
+				if obj := identObj(info, id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}

@@ -1,0 +1,26 @@
+// Package exitcode is a repolint fixture: ad-hoc exit statuses versus the
+// core.Exit* contract. Exact line numbers are asserted in
+// internal/lintcheck/lintcheck_test.go.
+package exitcode
+
+import (
+	"log"
+	"os"
+
+	"github.com/rootevent/anycastddos/internal/core"
+)
+
+// BareExit exits with a magic number nothing documents.
+func BareExit() {
+	os.Exit(5) // want exitcode (line 15)
+}
+
+// Fatal hard-exits 1 and skips deferred cleanup.
+func Fatal(err error) {
+	log.Fatalf("boom: %v", err) // want exitcode (line 20)
+}
+
+// Contract exits through the documented constants; no diagnostic expected.
+func Contract() {
+	os.Exit(core.ExitFailure)
+}

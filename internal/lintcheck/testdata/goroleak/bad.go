@@ -1,0 +1,62 @@
+// Package goroleak is a repolint fixture: goroutines with and without a
+// visible join path. Exact line numbers are asserted in
+// internal/lintcheck/lintcheck_test.go.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Fire launches a closure nothing can join.
+func Fire() {
+	go func() { // want goroleak (line 13)
+		_ = work()
+	}()
+}
+
+// FireNamed launches a named function with no join path either.
+func FireNamed() {
+	go work() // want goroleak (line 20)
+}
+
+func work() int { return 1 }
+
+// Joined parks the result on a channel; no diagnostic expected.
+func Joined() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- work()
+	}()
+	return out
+}
+
+// Waited joins through a WaitGroup; no diagnostic expected.
+func Waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+	wg.Wait()
+}
+
+// Cancelable watches a context; no diagnostic expected.
+func Cancelable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+var done = make(chan struct{})
+
+// NamedJoined launches a named function whose own body blocks on a channel —
+// the evidence is one level down; no diagnostic expected.
+func NamedJoined() {
+	go pump()
+}
+
+func pump() {
+	done <- struct{}{}
+}

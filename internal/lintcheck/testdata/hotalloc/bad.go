@@ -1,0 +1,34 @@
+// Package hotalloc is a repolint fixture: a //repolint:hot function that
+// allocates six different ways, and clean counterparts. Exact line numbers
+// are asserted in internal/lintcheck/lintcheck_test.go.
+package hotalloc
+
+// Hot is annotated allocation-free but allocates on every line.
+//
+//repolint:hot
+func Hot(xs []int) int {
+	xs = append(xs, 1)           // want hotalloc (line 10)
+	buf := make([]int, 4)        // want hotalloc (line 11)
+	p := new(int)                // want hotalloc (line 12)
+	m := map[int]int{0: 1}       // want hotalloc (line 13)
+	s := []int{2}                // want hotalloc (line 14)
+	f := func() int { return 3 } // want hotalloc (line 15)
+	return xs[0] + buf[0] + *p + m[0] + s[0] + f()
+}
+
+// Cold does the same with no annotation; no diagnostic expected.
+func Cold(xs []int) int {
+	xs = append(xs, 1)
+	return xs[0]
+}
+
+// HotClean is annotated and genuinely allocation-free; no diagnostic
+// expected.
+//
+//repolint:hot
+func HotClean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+// Package syncclose is a repolint fixture: discarded Close/Sync errors on
+// writable files and module durability types. Exact line numbers are
+// asserted in internal/lintcheck/lintcheck_test.go.
+package syncclose
+
+import "os"
+
+// Store stands in for a module-defined durability type.
+type Store struct{}
+
+// Close flushes and reports the first buffered write failure.
+func (*Store) Close() error { return nil }
+
+// Discard drops a writable file's Close error on the floor.
+func Discard(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want syncclose (line 20)
+	_, err = f.WriteString("x")
+	return err
+}
+
+// DiscardSync drops the Sync error as a bare statement.
+func DiscardSync(f *os.File) {
+	f.Sync() // want syncclose (line 27)
+}
+
+// DiscardStore drops a durability type's Close error.
+func DiscardStore(s *Store) {
+	s.Close() // want syncclose (line 32)
+}
+
+// ReadOnly closes a file opened for reading; no diagnostic expected.
+func ReadOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// Checked returns the Close error; no diagnostic expected.
+func Checked(f *os.File) error {
+	return f.Close()
+}

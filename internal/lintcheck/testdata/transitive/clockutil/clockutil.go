@@ -1,0 +1,10 @@
+// Package clockutil is the leaf of the transitive fixture: the only direct
+// time.Now call, two frames below the entry points.
+package clockutil
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want wallclock at the site itself (line 9)
+}

@@ -90,6 +90,7 @@ func Evaluate(capacityQPS float64, load Load, cfg Config) (State, error) {
 	return st, nil
 }
 
+//repolint:hot
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
 		return lo
@@ -176,6 +177,8 @@ func Servers(site *anycast.Site, st State, cfg Config, eventIndex int) ServerVie
 // per-probe hot paths; for any (site, state, eventIndex), the returned
 // values equal the corresponding ServerView entries after the caller-side
 // Active redirect.
+//
+//repolint:hot
 func ProbeServer(site *anycast.Site, st State, cfg Config, eventIndex, server int) (srv int, responds bool, lossFrac, extraDelayMs float64) {
 	if st.LossFrac <= 0 {
 		return server, true, 0, st.ExtraDelayMs
