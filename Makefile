@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build lint lint-baseline test race soak soak-resume campaign-smoke campaign-resume bench bench-gate bench-workers reproduce
+.PHONY: verify fmt vet build lint lint-baseline test race soak soak-resume campaign-smoke campaign-resume bench bench-server bench-gate bench-workers reproduce
 
 # Keep bench going even if tee's upstream pipeline status matters on some
 # shells: the JSON step only runs when the bench run itself succeeded.
@@ -80,18 +80,37 @@ campaign-resume:
 BENCHTIME ?= 1s
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
-		-skip 'Nov30EventWorkers' -timeout 60m ./... | tee bench.out
+		-skip 'Nov30EventWorkers|ServerEcho|FloodPath|CheckShardedParallel' \
+		-timeout 60m ./... | tee bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_6.json
+	$(MAKE) bench-gate
+
+# Server packet-path benches (see README "Serving performance"): the
+# in-memory legacy-vs-fast FloodPath pair, the over-socket ServerEcho
+# worker sweep, and the sharded RRL check, converted into BENCH_9.json.
+bench-server:
+	$(GO) test -run '^$$' -bench 'ServerEcho|FloodPath|CheckShardedParallel|CheckHotPrefix|CheckSpoofedFlood' \
+		-benchmem -benchtime=$(BENCHTIME) -timeout 30m \
+		./internal/dnsserver/ ./internal/rrl/ | tee bench-server.out
+	$(GO) run ./cmd/benchjson -in bench-server.out -out BENCH_9.json
 	$(MAKE) bench-gate
 
 # Allocation gate against the pre-columnar baseline: b_per_op/allocs_per_op
 # must not regress past tolerance anywhere, and Figure4 must hold the >= 5x
 # reduction the columnar store bought (see README "Performance"). Timing is
 # deliberately not gated — CI runners share cores; allocation counts don't.
+# The second diff gates the server packet path (BENCH_9.json): the batched
+# fast path must hold >= 5x over the legacy reference path measured in the
+# same run, stay allocation-free, and stay under 1000 ns/op (>= 1 Mq/s per
+# core); the rrl benches shared by both files get the tolerance diff.
 bench-gate:
 	$(GO) run ./cmd/benchjson -diff \
 		-min-improve 'Figure4:b_per_op:5,Figure4:allocs_per_op:5' \
 		BENCH_4.json BENCH_6.json
+	$(GO) run ./cmd/benchjson -diff \
+		-min-ratio 'FloodPath/legacy:FloodPath/fast:ns_per_op:5' \
+		-max 'FloodPath/fast:allocs_per_op:0,FloodPath/fast:ns_per_op:1000' \
+		BENCH_6.json BENCH_9.json
 
 # Parallel-engine scaling benches (byte-identical output per worker count).
 bench-workers:

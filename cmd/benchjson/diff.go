@@ -78,11 +78,127 @@ func parseMinImprove(s string) ([]improveReq, error) {
 	return reqs, nil
 }
 
+// ratioReq demands that, within one baseline file, the slow benchmark's
+// metric is at least Factor times the fast benchmark's: slow/fast >= Factor.
+// This gates same-run speedups (legacy path vs fast path) without needing
+// either bench to exist in an older baseline.
+type ratioReq struct {
+	Slow, Fast, Metric string
+	Factor             float64
+}
+
+// parseMinRatio parses "FloodPath/legacy:FloodPath/fast:ns_per_op:5,...".
+func parseMinRatio(s string) ([]ratioReq, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var reqs []ratioReq
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("bad min-ratio %q (want slow:fast:metric:factor)", part)
+		}
+		f, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad min-ratio factor %q", fields[3])
+		}
+		reqs = append(reqs, ratioReq{Slow: fields[0], Fast: fields[1], Metric: fields[2], Factor: f})
+	}
+	return reqs, nil
+}
+
+// maxReq caps a metric's absolute value in the new baseline: bench:metric
+// must read at most Value. The canonical use is allocs_per_op at 0.
+type maxReq struct {
+	Bench, Metric string
+	Value         float64
+}
+
+// parseMax parses "FloodPath/fast:allocs_per_op:0,...".
+func parseMax(s string) ([]maxReq, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var reqs []maxReq
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad max %q (want bench:metric:value)", part)
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad max value %q", fields[2])
+		}
+		reqs = append(reqs, maxReq{Bench: fields[0], Metric: fields[1], Value: v})
+	}
+	return reqs, nil
+}
+
 // diffResult separates what a human wants to read (Lines) from what CI
 // gates on (Failures).
 type diffResult struct {
 	Lines    []string
 	Failures []string
+}
+
+// gateNewFile evaluates the requirements that read only the new baseline:
+// min-ratio (same-run slow/fast factors) and max (absolute caps). A missing
+// benchmark or metric is a hard failure — the gate must not silently pass
+// because a bench was renamed away.
+func gateNewFile(newOut *Output, ratios []ratioReq, maxes []maxReq) diffResult {
+	var res diffResult
+	byName := make(map[string]Benchmark, len(newOut.Benchmarks))
+	for _, b := range newOut.Benchmarks {
+		byName[b.Name] = b
+	}
+	reading := func(gate, bench, metric string) (float64, bool) {
+		b, ok := byName[bench]
+		if !ok {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: benchmark %s missing from baseline", gate, bench))
+			return 0, false
+		}
+		v, ok := metricReading(b, metric)
+		if !ok {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: %s does not report %s", gate, bench, metric))
+			return 0, false
+		}
+		return v, true
+	}
+	for _, req := range ratios {
+		gate := fmt.Sprintf("min-ratio %s:%s:%s", req.Slow, req.Fast, req.Metric)
+		sv, okS := reading(gate, req.Slow, req.Metric)
+		fv, okF := reading(gate, req.Fast, req.Metric)
+		if !okS || !okF {
+			continue
+		}
+		if fv == 0 {
+			// The fast path hitting zero is an unbounded ratio.
+			res.Lines = append(res.Lines, fmt.Sprintf("%-28s %-13s %14.0f vs 0 (min-ratio %gx: ok)",
+				req.Slow+"/"+req.Fast, req.Metric, sv, req.Factor))
+			continue
+		}
+		ratio := sv / fv
+		if ratio < req.Factor {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"%s: %.0f vs %.0f is %.2fx, need >= %gx", gate, sv, fv, ratio, req.Factor))
+			continue
+		}
+		res.Lines = append(res.Lines, fmt.Sprintf("%-28s %-13s %14.0f vs %14.0f (min-ratio %gx: %.1fx ok)",
+			req.Slow+" / "+req.Fast, req.Metric, sv, fv, req.Factor, ratio))
+	}
+	for _, req := range maxes {
+		gate := fmt.Sprintf("max %s:%s", req.Bench, req.Metric)
+		v, ok := reading(gate, req.Bench, req.Metric)
+		if !ok {
+			continue
+		}
+		if v > req.Value {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: %.2f exceeds cap %g", gate, v, req.Value))
+			continue
+		}
+		res.Lines = append(res.Lines, fmt.Sprintf("%-28s %-13s %14.2f (max %g: ok)", req.Bench, req.Metric, v, req.Value))
+	}
+	return res
 }
 
 // diffBaselines compares two parsed baselines benchmark-by-benchmark. A

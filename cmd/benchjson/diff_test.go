@@ -106,3 +106,70 @@ func TestDiffZeroNewValueIsUnboundedImprovement(t *testing.T) {
 		t.Fatalf("50 -> 0 allocs should satisfy any factor: %v", res.Failures)
 	}
 }
+
+func TestParseMinRatio(t *testing.T) {
+	reqs, err := parseMinRatio("FloodPath/legacy:FloodPath/fast:ns_per_op:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || reqs[0] != (ratioReq{"FloodPath/legacy", "FloodPath/fast", "ns_per_op", 5}) {
+		t.Fatalf("parsed %v", reqs)
+	}
+	if _, err := parseMinRatio("a:b:c"); err == nil {
+		t.Error("three fields should fail")
+	}
+	if _, err := parseMinRatio("a:b:c:0"); err == nil {
+		t.Error("zero factor should fail")
+	}
+}
+
+func TestParseMax(t *testing.T) {
+	reqs, err := parseMax("FloodPath/fast:allocs_per_op:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || reqs[0] != (maxReq{"FloodPath/fast", "allocs_per_op", 0}) {
+		t.Fatalf("parsed %v", reqs)
+	}
+	if _, err := parseMax("a:b"); err == nil {
+		t.Error("two fields should fail")
+	}
+	if _, err := parseMax("a:b:-1"); err == nil {
+		t.Error("negative cap should fail")
+	}
+}
+
+func TestGateMinRatio(t *testing.T) {
+	newOut := baseline(
+		Benchmark{Name: "FloodPath/legacy", NsPerOp: 1200},
+		Benchmark{Name: "FloodPath/fast", NsPerOp: 100},
+	)
+	if res := gateNewFile(newOut, []ratioReq{{"FloodPath/legacy", "FloodPath/fast", "ns_per_op", 5}}, nil); len(res.Failures) != 0 {
+		t.Fatalf("12x ratio should satisfy 5x: %v", res.Failures)
+	}
+	res := gateNewFile(newOut, []ratioReq{{"FloodPath/legacy", "FloodPath/fast", "ns_per_op", 20}}, nil)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "min-ratio") {
+		t.Fatalf("12x ratio should miss the 20x floor: %v", res.Failures)
+	}
+	// A renamed-away benchmark must fail loudly, not pass silently.
+	res = gateNewFile(newOut, []ratioReq{{"FloodPath/legacy", "Gone", "ns_per_op", 5}}, nil)
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "missing") {
+		t.Fatalf("missing fast bench should fail: %v", res.Failures)
+	}
+}
+
+func TestGateMax(t *testing.T) {
+	newOut := baseline(Benchmark{Name: "FloodPath/fast", NsPerOp: 100, AllocsPerOp: f64(0)})
+	if res := gateNewFile(newOut, nil, []maxReq{{"FloodPath/fast", "allocs_per_op", 0}}); len(res.Failures) != 0 {
+		t.Fatalf("0 allocs within cap 0 failed: %v", res.Failures)
+	}
+	leaky := baseline(Benchmark{Name: "FloodPath/fast", NsPerOp: 100, AllocsPerOp: f64(2)})
+	res := gateNewFile(leaky, nil, []maxReq{{"FloodPath/fast", "allocs_per_op", 0}})
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "exceeds cap") {
+		t.Fatalf("2 allocs over cap 0 should fail: %v", res.Failures)
+	}
+	res = gateNewFile(leaky, nil, []maxReq{{"FloodPath/fast", "qps", 1}})
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "does not report") {
+		t.Fatalf("unreported metric should fail: %v", res.Failures)
+	}
+}

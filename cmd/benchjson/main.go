@@ -20,8 +20,18 @@
 // Gated metrics (default b_per_op and allocs_per_op — allocation counts are
 // deterministic, wall time on shared runners is not) fail the diff when the
 // new value regresses past its tolerance fraction; -min-improve additionally
-// demands a named benchmark improved by at least the given factor. Exit
-// status 1 means the gate failed.
+// demands a named benchmark improved by at least the given factor.
+//
+// Two further gates read only the NEW baseline, for benchmarks with no
+// counterpart in the old file (a fresh slow-vs-fast pair measured in the
+// same run):
+//
+//	-min-ratio 'FloodPath/legacy:FloodPath/fast:ns_per_op:5'  slow/fast >= factor
+//	-max 'FloodPath/fast:allocs_per_op:0'                     absolute cap
+//
+// Exit status follows the core.Exit* contract: core.ExitOK when every gate
+// passed, core.ExitFailure when a gate failed or an output could not be
+// written, core.ExitUsage for bad flags or unreadable/malformed inputs.
 package main
 
 import (
@@ -66,6 +76,13 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	os.Exit(run())
+}
+
+// run carries the whole conversion or diff, returning the process exit
+// code: usage problems are distinguished from gate failures so CI scripts
+// can tell a broken invocation from a real regression.
+func run() int {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	out := flag.String("out", "", "JSON baseline file (default: stdout)")
 	diff := flag.Bool("diff", false, "compare two baseline files: benchjson -diff old.json new.json")
@@ -73,72 +90,108 @@ func main() {
 		"diff mode: allowed fractional regression per gated metric")
 	minImprove := flag.String("min-improve", "",
 		"diff mode: required improvements, bench:metric:factor[,...]")
+	minRatio := flag.String("min-ratio", "",
+		"diff mode: same-run ratios required in the new file, slow:fast:metric:factor[,...]")
+	maxVals := flag.String("max", "",
+		"diff mode: absolute caps on the new file, bench:metric:value[,...]")
 	flag.Parse()
 
 	if *diff {
 		if flag.NArg() != 2 {
-			log.Fatal("diff mode needs exactly two baseline files: benchjson -diff old.json new.json")
+			log.Print("diff mode needs exactly two baseline files: benchjson -diff old.json new.json")
+			return core.ExitUsage
 		}
-		runDiff(flag.Arg(0), flag.Arg(1), *tolerance, *minImprove)
-		return
+		return runDiff(flag.Arg(0), flag.Arg(1), *tolerance, *minImprove, *minRatio, *maxVals)
 	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return core.ExitUsage
 		}
 		defer f.Close()
 		r = f
 	}
 	res, err := parse(r)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitUsage
 	}
 	if len(res.Benchmarks) == 0 {
-		log.Fatal("no benchmark lines found in input")
+		log.Print("no benchmark lines found in input")
+		return core.ExitUsage
 	}
 	res.Summary = summarize(res.Benchmarks)
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitFailure
 	}
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
+		return core.ExitOK
 	}
 	if err := atomicio.WriteFileBytes(*out, data); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitFailure
 	}
 	log.Printf("wrote %d benchmarks to %s", len(res.Benchmarks), *out)
+	return core.ExitOK
 }
 
-// runDiff loads two baselines, prints the comparison, and exits 1 when any
-// tolerance or min-improve requirement fails.
-func runDiff(oldPath, newPath, tolerance, minImprove string) {
+// runDiff loads two baselines, prints the comparison, and returns the exit
+// code: core.ExitFailure when any tolerance, min-improve, min-ratio, or max
+// requirement fails.
+func runDiff(oldPath, newPath, tolerance, minImprove, minRatio, maxVals string) int {
 	tol, err := parseTolerances(tolerance)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitUsage
 	}
 	reqs, err := parseMinImprove(minImprove)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitUsage
 	}
-	load := func(path string) *Output {
+	ratios, err := parseMinRatio(minRatio)
+	if err != nil {
+		log.Print(err)
+		return core.ExitUsage
+	}
+	maxes, err := parseMax(maxVals)
+	if err != nil {
+		log.Print(err)
+		return core.ExitUsage
+	}
+	load := func(path string) (*Output, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		var o Output
 		if err := json.Unmarshal(data, &o); err != nil {
-			log.Fatalf("%s: %v", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		return &o
+		return &o, nil
 	}
-	res := diffBaselines(load(oldPath), load(newPath), tol, reqs)
+	oldOut, err := load(oldPath)
+	if err != nil {
+		log.Print(err)
+		return core.ExitUsage
+	}
+	newOut, err := load(newPath)
+	if err != nil {
+		log.Print(err)
+		return core.ExitUsage
+	}
+	res := diffBaselines(oldOut, newOut, tol, reqs)
+	gate := gateNewFile(newOut, ratios, maxes)
+	res.Lines = append(res.Lines, gate.Lines...)
+	res.Failures = append(res.Failures, gate.Failures...)
 	for _, line := range res.Lines {
 		fmt.Println(line)
 	}
@@ -146,9 +199,10 @@ func runDiff(oldPath, newPath, tolerance, minImprove string) {
 		for _, f := range res.Failures {
 			fmt.Fprintln(os.Stderr, "FAIL: "+f)
 		}
-		os.Exit(core.ExitFailure)
+		return core.ExitFailure
 	}
 	fmt.Printf("benchjson diff: %d benchmarks compared, gate passed\n", len(res.Lines))
+	return core.ExitOK
 }
 
 // parse scans bench output, keeping goos/goarch headers and result lines.
@@ -226,6 +280,13 @@ func summarize(benchmarks []Benchmark) map[string]float64 {
 	}
 	if cached, ok := byName["ComputeFullVsIncremental/cached"]; ok && okF && cached.NsPerOp > 0 {
 		s["compute_speedup_full_vs_cached"] = round2(full.NsPerOp / cached.NsPerOp)
+	}
+	if legacy, okL := byName["FloodPath/legacy"]; okL {
+		if fast, okFast := byName["FloodPath/fast"]; okFast && fast.NsPerOp > 0 {
+			s["server_speedup_legacy_vs_fast"] = round2(legacy.NsPerOp / fast.NsPerOp)
+			// 1 Mq/s per core corresponds to 1000 ns/op on the packet path.
+			s["server_fast_mqps_per_core"] = round2(1000 / fast.NsPerOp)
+		}
 	}
 	if probe, ok := byName["ProbeOutcome"]; ok {
 		s["probe_outcome_ns_per_op"] = probe.NsPerOp

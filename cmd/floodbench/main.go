@@ -4,12 +4,28 @@
 // reshaped the response stream, and what a legitimate client experienced
 // concurrently (via TCP fallback when its UDP answers are suppressed).
 //
+// The generator is a pool of workers, each owning its own source UDP
+// socket and a reused batch of request buffers flushed through
+// sendmmsg-style batched writes (internal/udpbatch), so a single core can
+// source well over 1 Mq/s. Pacing, when requested with -rate, is amortized:
+// the clock is consulted once per batch, never per packet.
+//
 // The generator only ever targets servers it starts itself on 127.0.0.1;
 // it is a capacity benchmark for this codebase, not a traffic tool.
 //
 // Usage:
 //
-//	floodbench [-duration 2s] [-sources 50] [-workers N] [-rrl] [-seed 1]
+//	floodbench [-duration 2s] [-workers 4] [-batch 32] [-rate 0]
+//	           [-server-workers 0] [-inproc] [-rrl] [-seed 1]
+//
+// With -inproc the generator bypasses the kernel and injects packets
+// straight into the server's userspace packet path (Server.NewInjector):
+// the number to read then is the path's per-core capacity, free of the
+// loopback stack's per-datagram cost that bounds the socket mode.
+//
+// Exit status follows the core.Exit* contract: core.ExitOK on a complete
+// run, core.ExitUsage when flags or startup preconditions are rejected,
+// core.ExitFailure when the run itself fails.
 package main
 
 import (
@@ -17,101 +33,125 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/netip"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/rootevent/anycastddos/internal/atomicio"
+	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/dnsserver"
 	"github.com/rootevent/anycastddos/internal/dnswire"
 	"github.com/rootevent/anycastddos/internal/report"
 	"github.com/rootevent/anycastddos/internal/rrl"
+	"github.com/rootevent/anycastddos/internal/udpbatch"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("floodbench: ")
+	os.Exit(run())
+}
+
+// run carries the whole benchmark so deferred cleanups (profiles, server
+// shutdown, sockets) execute on every path — log.Fatal would skip them.
+func run() int {
 	duration := flag.Duration("duration", 2*time.Second, "flood duration")
-	sources := flag.Int("sources", 50, "distinct spoofed-source sockets (heavy hitters)")
-	workers := flag.Int("workers", 0, "total sender goroutines spread over the source sockets (0 = one per socket)")
+	workers := flag.Int("workers", 4, "generator workers, each with its own source socket")
+	batch := flag.Int("batch", 32, "datagrams per batched send")
+	rate := flag.Float64("rate", 0, "aggregate target rate in q/s (0 = unpaced, flood at capacity)")
+	serverWorkers := flag.Int("server-workers", 0, "server reader workers (0 = 1)")
+	inproc := flag.Bool("inproc", false, "inject packets in process, bypassing the kernel (userspace path capacity)")
 	useRRL := flag.Bool("rrl", true, "enable response-rate limiting on the server")
 	seed := flag.Int64("seed", 1, "prober RNG seed, so bench runs are reproducible")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	flag.Parse()
+	if *workers < 1 || *batch < 1 || *rate < 0 || *duration <= 0 {
+		log.Print("usage: -workers and -batch must be >= 1, -rate >= 0, -duration > 0")
+		return core.ExitUsage
+	}
 
 	if *cpuProfile != "" {
 		// The profile streams for the lifetime of the run; a temp+rename
 		// write cannot express that, and a torn profile is harmless.
 		f, err := os.Create(*cpuProfile) //repolint:allow atomicwrite
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return core.ExitUsage
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return core.ExitUsage
 		}
 		defer pprof.StopCPUProfile()
 	}
 	defer writeHeapProfile(*memProfile)
 
-	cfg := dnsserver.Config{Letter: 'K', Site: "LHR", Server: 1}
+	cfg := dnsserver.Config{Letter: 'K', Site: "LHR", Server: 1, Workers: *serverWorkers}
 	if *useRRL {
 		r := rrl.DefaultConfig()
 		cfg.RRL = &r
 	}
 	s, err := dnsserver.Start(cfg)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitFailure
 	}
 	defer s.Close()
 	if err := s.StartTCP(); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitFailure
 	}
 	if !s.Addr().IP.IsLoopback() {
-		log.Fatal("refusing to run against a non-loopback address")
+		log.Print("refusing to run against a non-loopback address")
+		return core.ExitUsage
 	}
-	log.Printf("server %s on %s (rrl=%v)", s.Identity(), s.Addr(), *useRRL)
-
-	// The flood: each "source" is one socket replaying the fixed attack
-	// name as fast as it can, mimicking the top-200 heavy hitters.
-	attackQ := dnswire.NewQuery(7, "www.336901.com", dnswire.TypeA, dnswire.ClassINET)
-	attackPkt, err := attackQ.Pack()
+	// The flood: the fixed attack name of the event, replayed by every
+	// generator worker as fast as pacing allows. Each worker owns an
+	// unconnected source socket (a distinct heavy-hitter source) and a
+	// batched sender over it.
+	attackPkt, err := dnswire.NewQuery(7, "www.336901.com", dnswire.TypeA, dnswire.ClassINET).Pack()
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitFailure
 	}
 	var sent atomic.Uint64
 	stop := make(chan struct{})
-	conns := make([]*net.UDPConn, *sources)
-	for i := range conns {
-		conn, err := net.DialUDP("udp", nil, s.Addr())
-		if err != nil {
-			log.Fatal(err)
+	var genWG sync.WaitGroup
+	perWorkerRate := *rate / float64(*workers)
+	if *inproc {
+		log.Printf("server %s in process (rrl=%v, injection workers=%d)", s.Identity(), *useRRL, *workers)
+		for w := 0; w < *workers; w++ {
+			in := s.NewInjector()
+			src := netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, byte(w + 1)}), 5353)
+			genWG.Add(1)
+			go inject(&genWG, stop, in, src, attackPkt, *batch, perWorkerRate, &sent)
 		}
-		defer conn.Close()
-		conns[i] = conn
-	}
-	// Sender goroutines round-robin over the source sockets; concurrent
-	// writes to one UDPConn are safe, so any worker count works.
-	senders := *workers
-	if senders <= 0 || len(conns) == 0 {
-		senders = len(conns)
-	}
-	for w := 0; w < senders; w++ {
-		go func(c *net.UDPConn) {
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				if _, err := c.Write(attackPkt); err != nil {
-					return
-				}
-				sent.Add(1)
+	} else {
+		dst := s.Addr().AddrPort()
+		senders := make([]*udpbatch.Conn, *workers)
+		for w := range senders {
+			conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				log.Print(err)
+				return core.ExitFailure
 			}
-		}(conns[w%len(conns)])
+			defer conn.Close()
+			if senders[w], err = udpbatch.New(conn, *batch); err != nil {
+				log.Print(err)
+				return core.ExitFailure
+			}
+		}
+		log.Printf("server %s on %s (rrl=%v, server workers=%d, batched sends=%v)",
+			s.Identity(), s.Addr(), *useRRL, max(*serverWorkers, 1), senders[0].Batched())
+		for _, bc := range senders {
+			genWG.Add(1)
+			go generate(&genWG, stop, bc, dst, attackPkt, *batch, perWorkerRate, &sent)
+		}
 	}
 
 	// A legitimate client probing once per 50 ms throughout the flood.
@@ -145,21 +185,25 @@ func main() {
 
 	time.Sleep(*duration)
 	close(stop)
+	genWG.Wait()
 	<-clientDone
 	time.Sleep(100 * time.Millisecond) // drain
 
 	received, answered, droppedLoss, droppedRRL := s.Stats()
 	secs := duration.Seconds()
+	genRate := float64(sent.Load()) / secs
 	rows := [][]string{
-		{"flood packets sent", fmt.Sprintf("%d", sent.Load()), fmt.Sprintf("%.0f q/s", float64(sent.Load())/secs)},
+		{"flood packets sent", fmt.Sprintf("%d", sent.Load()),
+			fmt.Sprintf("%.0f q/s (%.2f Mq/s over %d workers)", genRate, genRate/1e6, *workers)},
 		{"server received", fmt.Sprintf("%d", received), fmt.Sprintf("%.0f q/s", float64(received)/secs)},
 		{"server answered", fmt.Sprintf("%d", answered), fmt.Sprintf("%.1f%% of received", pct(answered, received))},
 		{"suppressed by RRL", fmt.Sprintf("%d", droppedRRL), fmt.Sprintf("%.1f%% of received", pct(droppedRRL, received))},
 		{"dropped (impairment)", fmt.Sprintf("%d", droppedLoss), ""},
-		{"kernel/ingress drops", fmt.Sprintf("%d", int64(sent.Load())-int64(received)), "socket-buffer overflow = the queue model's loss"},
+		{"kernel/ingress drops", fmt.Sprintf("%d", max(int64(sent.Load())-int64(received), 0)), "socket-buffer overflow = the queue model's loss"},
 	}
 	if err := report.WriteTable(os.Stdout, []string{"counter", "value", "note"}, rows); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitFailure
 	}
 	fmt.Printf("\nlegitimate client: %d served (%d via TCP fallback), %d failed\n",
 		clientOK, clientTCP, clientFail)
@@ -169,6 +213,75 @@ func main() {
 	} else {
 		fmt.Println("\nWithout RRL every accepted flood query is amplified into a response;")
 		fmt.Println("re-run with -rrl to see the suppression that blunted the 2015 events.")
+	}
+	return core.ExitOK
+}
+
+// inject is the in-process twin of generate: one Injector lane hammering
+// the server's userspace packet path. The sent counter and (when rate > 0)
+// the pacing clock are consulted once per batch-sized block, matching the
+// socket workers' amortization.
+func inject(wg *sync.WaitGroup, stop <-chan struct{}, in *dnsserver.Injector,
+	src netip.AddrPort, pkt []byte, batch int, rate float64, sent *atomic.Uint64) {
+	defer wg.Done()
+	start := time.Now()
+	var n uint64
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		for i := 0; i < batch; i++ {
+			in.Inject(pkt, src)
+		}
+		n += uint64(batch)
+		sent.Add(uint64(batch))
+		if rate > 0 {
+			ahead := time.Duration(float64(n)/rate*float64(time.Second)) - time.Since(start)
+			if ahead > time.Millisecond {
+				time.Sleep(ahead)
+			}
+		}
+	}
+}
+
+// generate is one flood worker: a dedicated source socket and a reused batch of
+// identical attack packets, flushed with batched writes until stop closes.
+// When rate > 0 the worker paces itself against its own start time, checking
+// the clock once per batch: if the packets sent so far ran ahead of the
+// target rate, it sleeps off the surplus before the next flush.
+func generate(wg *sync.WaitGroup, stop <-chan struct{}, bc *udpbatch.Conn,
+	dst netip.AddrPort, pkt []byte, batch int, rate float64, sent *atomic.Uint64) {
+	defer wg.Done()
+	ms := make([]udpbatch.Message, batch)
+	for i := range ms {
+		ms[i].Buf = pkt // shared: WriteBatch never mutates Buf
+		ms[i].N = len(pkt)
+		ms[i].Addr = dst
+	}
+	start := time.Now()
+	var n uint64
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		w, err := bc.WriteBatch(ms)
+		if w > 0 {
+			n += uint64(w)
+			sent.Add(uint64(w))
+		}
+		if err != nil {
+			return // socket closed under us; the run is over
+		}
+		if rate > 0 {
+			ahead := time.Duration(float64(n)/rate*float64(time.Second)) - time.Since(start)
+			if ahead > time.Millisecond {
+				time.Sleep(ahead)
+			}
+		}
 	}
 }
 

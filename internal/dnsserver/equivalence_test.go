@@ -1,0 +1,128 @@
+package dnsserver
+
+import (
+	"bytes"
+	"net"
+	"net/netip"
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/dnswire"
+	"github.com/rootevent/anycastddos/internal/rrl"
+	"github.com/rootevent/anycastddos/internal/udpbatch"
+)
+
+// TestFastPathMatchesLegacy drives the same packets through the UDP fast
+// path (DecodeInto + tail splice) and the legacy reference path (Decode +
+// NewResponse + Encode) on one server and requires byte-identical replies —
+// including identical accept/reject decisions for traffic neither should
+// answer.
+func TestFastPathMatchesLegacy(t *testing.T) {
+	s := startServer(t, Config{Letter: 'K', Site: "AMS", Server: 2})
+	src := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 1), Port: 5353}
+	srcAP := netip.MustParseAddrPort("10.0.0.1:5353")
+
+	queries := []struct {
+		name string
+		pkt  []byte
+	}{
+		{"hostname.bind", mustPack(t, dnswire.NewQuery(11, "hostname.bind", dnswire.TypeTXT, dnswire.ClassCHAOS))},
+		{"id.server", mustPack(t, dnswire.NewQuery(12, "id.server", dnswire.TypeTXT, dnswire.ClassCHAOS))},
+		{"priming", mustPack(t, dnswire.NewQuery(13, ".", dnswire.TypeNS, dnswire.ClassINET))},
+		{"nxdomain", mustPack(t, dnswire.NewQuery(14, "www.336901.com", dnswire.TypeA, dnswire.ClassINET))},
+		{"nxdomain-deep", mustPack(t, dnswire.NewQuery(15, "a.b.c.example", dnswire.TypeAAAA, dnswire.ClassINET))},
+		{"chaos-refused", mustPack(t, dnswire.NewQuery(16, "version.weird", dnswire.TypeTXT, dnswire.ClassCHAOS))},
+		{"any-class-refused", mustPack(t, dnswire.NewQuery(17, "x.example", dnswire.TypeA, dnswire.ClassANY))},
+		{"mixed-case", mustPack(t, dnswire.NewQuery(18, "HOSTNAME.BIND", dnswire.TypeTXT, dnswire.ClassCHAOS))},
+		{"garbage", []byte{1, 2, 3}},
+		{"response-pkt", mustPack(t, dnswire.NewResponse(dnswire.NewQuery(19, "x", dnswire.TypeA, dnswire.ClassINET), dnswire.RCodeNoError))},
+	}
+	var q dnswire.Message
+	var out udpbatch.Message
+	for _, tc := range queries {
+		legacyResp, legacyOK := s.handle(tc.pkt, src)
+		fastOK := s.respond(tc.pkt, srcAP, &q, &out)
+		if legacyOK != fastOK {
+			t.Fatalf("%s: legacy ok=%v fast ok=%v", tc.name, legacyOK, fastOK)
+		}
+		if !legacyOK {
+			continue
+		}
+		want, err := legacyResp.Encode(nil)
+		if err != nil {
+			t.Fatalf("%s: legacy encode: %v", tc.name, err)
+		}
+		if !bytes.Equal(want, out.Buf[:out.N]) {
+			t.Fatalf("%s: reply bytes differ\nlegacy %x\nfast   %x", tc.name, want, out.Buf[:out.N])
+		}
+	}
+}
+
+// TestFastPathMatchesLegacyUnderRRL pins the RRL-influenced replies: two
+// servers with identical deterministic limiters see the same sequence, and
+// every verdict's wire image (answer, slip, silence) must agree.
+func TestFastPathMatchesLegacyUnderRRL(t *testing.T) {
+	// Negligible refill rate: after the 2-response burst the verdict
+	// sequence is Drop, Slip, Drop, Slip... regardless of wall clock, so
+	// both servers see identical verdicts despite distinct start times.
+	rrlCfg := rrl.Config{ResponsesPerSecond: 0.001, Burst: 2, SlipRatio: 2, PrefixBits: 32}
+	legacySrv := startServer(t, Config{Letter: 'J', Site: "IAD", Server: 1, RRL: &rrlCfg})
+	fastSrv := startServer(t, Config{Letter: 'J', Site: "IAD", Server: 1, RRL: &rrlCfg})
+
+	src := &net.UDPAddr{IP: net.IPv4(10, 9, 8, 7), Port: 4242}
+	srcAP := netip.MustParseAddrPort("10.9.8.7:4242")
+	pkt := mustPack(t, dnswire.NewQuery(21, "www.336901.com", dnswire.TypeA, dnswire.ClassINET))
+
+	var q dnswire.Message
+	var out udpbatch.Message
+	sawSlip, sawDrop := false, false
+	for i := 0; i < 16; i++ {
+		legacyResp, legacyOK := legacySrv.handle(pkt, src)
+		fastOK := fastSrv.respond(pkt, srcAP, &q, &out)
+		if legacyOK != fastOK {
+			t.Fatalf("packet %d: legacy ok=%v fast ok=%v", i, legacyOK, fastOK)
+		}
+		if !legacyOK {
+			sawDrop = true
+			continue
+		}
+		if legacyResp.Header.Truncated {
+			sawSlip = true
+		}
+		want, err := legacyResp.Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, out.Buf[:out.N]) {
+			t.Fatalf("packet %d: reply bytes differ\nlegacy %x\nfast   %x", i, want, out.Buf[:out.N])
+		}
+	}
+	if !sawSlip || !sawDrop {
+		t.Fatalf("RRL sequence did not exercise slip (%v) and drop (%v)", sawSlip, sawDrop)
+	}
+}
+
+// TestRespondZeroAllocs holds the whole per-packet server path (decode,
+// RRL, encode) to zero heap allocations once worker scratch is warm.
+func TestRespondZeroAllocs(t *testing.T) {
+	rrlCfg := rrl.DefaultConfig()
+	s := startServer(t, Config{Letter: 'K', Site: "LHR", Server: 1, RRL: &rrlCfg})
+	srcAP := netip.MustParseAddrPort("10.1.2.3:9999")
+	pkt := mustPack(t, dnswire.NewQuery(22, "www.336901.com", dnswire.TypeA, dnswire.ClassINET))
+	var q dnswire.Message
+	out := udpbatch.Message{Buf: make([]byte, 0, 1024)}
+	s.respond(pkt, srcAP, &q, &out) // warm decode scratch and tx buffer
+	if n := testing.AllocsPerRun(500, func() {
+		s.respond(pkt, srcAP, &q, &out)
+	}); n != 0 {
+		t.Fatalf("respond allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+func mustPack(t *testing.T, m *dnswire.Message) []byte {
+	t.Helper()
+	pkt, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}

@@ -1,0 +1,84 @@
+package dnsserver
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestMapCatchmentParallelMatchesSequential sweeps the same target list
+// with the sequential and the fanned-out mapper and requires identical
+// site tallies — the fan-out changes scheduling, never verdicts.
+func TestMapCatchmentParallelMatchesSequential(t *testing.T) {
+	sites := []string{"AMS", "LHR", "NRT"}
+	var addrs []*net.UDPAddr
+	for i, site := range sites {
+		s := startServer(t, Config{Letter: 'K', Site: site, Server: i + 1})
+		// Uneven weights: AMS x1, LHR x2, NRT x3.
+		for j := 0; j <= i; j++ {
+			addrs = append(addrs, s.Addr())
+		}
+	}
+
+	seq, err := NewProber(7).MapCatchment(addrs, 'K')
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		par, err := NewProber(7).MapCatchmentParallel(context.Background(), addrs, 'K', workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: tallies %v, sequential %v", workers, par, seq)
+		}
+		for site, n := range seq {
+			if par[site] != n {
+				t.Fatalf("workers=%d: site %s tallied %d, sequential %d", workers, site, par[site], n)
+			}
+		}
+	}
+}
+
+// TestMapCatchmentParallelCanceled checks cancellation surfaces the
+// progress-naming error, like the sequential sweep.
+func TestMapCatchmentParallelCanceled(t *testing.T) {
+	s := startServer(t, Config{Letter: 'K', Site: "AMS", Server: 1})
+	addrs := []*net.UDPAddr{s.Addr(), s.Addr(), s.Addr()}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewProber(1).MapCatchmentParallel(ctx, addrs, 'K', 2); err == nil {
+		t.Fatal("canceled sweep returned nil error")
+	}
+}
+
+// TestMapCatchmentParallelDeadTarget checks one unresponsive target slows
+// only its own lane: live servers still tally, and the sweep finishes well
+// inside the dead target's single-attempt timeout budget times targets.
+func TestMapCatchmentParallelDeadTarget(t *testing.T) {
+	live := startServer(t, Config{Letter: 'K', Site: "LHR", Server: 1})
+	// A bound-but-unserved socket: queries to it time out.
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+
+	p := NewProber(3)
+	p.Timeout = 300 * time.Millisecond
+	addrs := []*net.UDPAddr{
+		live.Addr(), dead.LocalAddr().(*net.UDPAddr), live.Addr(), live.Addr(),
+	}
+	start := time.Now()
+	sites, err := p.MapCatchmentParallel(context.Background(), addrs, 'K', 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites["K-LHR"] != 3 {
+		t.Fatalf("live tallies = %v, want K-LHR:3", sites)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("sweep took %v; dead target stalled other lanes", elapsed)
+	}
+}

@@ -1,0 +1,181 @@
+package dnsserver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/dnswire"
+)
+
+// TestStatsCloseDuringFlood hammers Stats from several goroutines while a
+// flood is in progress, then Closes the server mid-flood. Run under -race
+// (make race) this proves the atomic counters and the worker drain: Close
+// must join every worker while floods and Stats readers keep arriving.
+func TestStatsCloseDuringFlood(t *testing.T) {
+	s, err := Start(Config{Letter: 'K', Site: "LHR", Server: 1, Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := dnswire.NewQuery(33, "www.336901.com", dnswire.TypeA, dnswire.ClassINET).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for f := 0; f < 3; f++ {
+		conn, err := net.DialUDP("udp", nil, s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(conn *net.UDPConn) {
+			defer wg.Done()
+			defer conn.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := conn.Write(pkt); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				received, answered, droppedLoss, droppedRRL := s.Stats()
+				if received < last {
+					t.Error("received went backwards")
+					return
+				}
+				last = received
+				_ = answered + droppedLoss + droppedRRL
+			}
+		}()
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	if err := s.Close(); err != nil { // mid-flood: drain must join all 4 workers
+		t.Fatalf("close during flood: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	received, answered, _, _ := s.Stats()
+	if received == 0 || answered == 0 {
+		t.Fatalf("flood was not served before close: recv %d ans %d", received, answered)
+	}
+	if s.Close() != nil {
+		t.Error("second close should be a no-op")
+	}
+}
+
+// TestWorkerSeedDerivation pins the splitmix worker-seed stream: stable for
+// a fixed (seed, worker) pair, distinct across workers and across seeds.
+func TestWorkerSeedDerivation(t *testing.T) {
+	seen := make(map[int64]string)
+	for _, seed := range []int64{0, 1, 5, -7, 1 << 40} {
+		for i := 0; i < 8; i++ {
+			a, b := workerSeed(seed, i), workerSeed(seed, i)
+			if a != b {
+				t.Fatalf("workerSeed(%d,%d) unstable: %d vs %d", seed, i, a, b)
+			}
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("workerSeed collision: (%d,%d) and %s -> %d", seed, i, prev, a)
+			}
+			seen[a] = fmt.Sprintf("(%d,%d)", seed, i)
+		}
+	}
+}
+
+// TestLossCoinWorkerCountIndependence is the deterministic half of the
+// loss-model claim: per-worker RNG streams derived from one config seed
+// each converge to the configured drop probability, so the aggregate drop
+// rate does not depend on how packets are sheared across workers. The
+// streams here are exactly the ones the server workers draw from.
+func TestLossCoinWorkerCountIndependence(t *testing.T) {
+	const (
+		seed  = int64(42)
+		p     = 0.3
+		draws = 50_000
+	)
+	for _, workers := range []int{1, 2, 4, 8} {
+		drops, total := 0, 0
+		for w := 0; w < workers; w++ {
+			rng := rand.New(rand.NewSource(workerSeed(seed, w)))
+			for i := 0; i < draws/workers; i++ {
+				total++
+				if rng.Float64() < p {
+					drops++
+				}
+			}
+		}
+		got := float64(drops) / float64(total)
+		if math.Abs(got-p) > 0.02 {
+			t.Fatalf("%d workers: aggregate drop rate %.4f, want %.2f±0.02", workers, got, p)
+		}
+	}
+}
+
+// TestLossRateOverSocketMultiWorker is the live half: a real 4-worker
+// server with 30% loss drops ~30% of what it receives.
+func TestLossRateOverSocketMultiWorker(t *testing.T) {
+	s, err := Start(Config{Letter: 'K', Site: "NRT", Server: 1, Workers: 4, LossProb: 0.3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.DialUDP("udp", nil, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pkt, err := dnswire.NewQuery(44, "www.336901.com", dnswire.TypeA, dnswire.ClassINET).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if _, err := conn.Write(pkt); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 0 {
+			time.Sleep(time.Millisecond) // let workers drain the socket queue
+		}
+	}
+	// Wait for the receive counter to stabilize (kernel-queue drain).
+	var received, droppedLoss uint64
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		r, _, d, _ := s.Stats()
+		if r == received && r > n/2 {
+			break
+		}
+		received, droppedLoss = r, d
+		time.Sleep(20 * time.Millisecond)
+	}
+	received, _, droppedLoss, _ = s.Stats()
+	if received == 0 {
+		t.Fatal("server received nothing")
+	}
+	got := float64(droppedLoss) / float64(received)
+	if math.Abs(got-0.3) > 0.05 {
+		t.Fatalf("drop rate %.3f over %d received, want 0.30±0.05", got, received)
+	}
+}

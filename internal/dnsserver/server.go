@@ -7,6 +7,16 @@
 // queries, and applies Response Rate Limiting. Loss and delay injection
 // turn a healthy server into a "degraded absorber" for live experiments
 // that mirror the simulation (examples/livechaos).
+//
+// The UDP packet path is built for flood rates: Config.Workers sharded
+// reader goroutines pull batches off the shared socket (internal/udpbatch),
+// decode into per-worker scratch (dnswire.DecodeInto), answer by splicing
+// precomputed response tails (dnswire.AppendResponse), and send batched
+// replies — zero heap allocations per packet once warm, with all counters
+// atomic and RRL sharded so no lock sits on the per-packet path. The
+// responses are byte-identical to the legacy Decode/NewResponse/Encode
+// path, which remains in service for TCP (equivalence_test.go holds the
+// two paths together).
 package dnsserver
 
 import (
@@ -14,12 +24,15 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/rootevent/anycastddos/internal/chaos"
 	"github.com/rootevent/anycastddos/internal/dnswire"
 	"github.com/rootevent/anycastddos/internal/rrl"
+	"github.com/rootevent/anycastddos/internal/udpbatch"
 )
 
 // Config describes one server instance.
@@ -31,37 +44,63 @@ type Config struct {
 	// Addr is the UDP listen address; empty means 127.0.0.1:0 (ephemeral).
 	Addr string
 
-	// RRL optionally enables response rate limiting.
+	// RRL optionally enables response rate limiting. Its Shards field
+	// defaults to the worker count so packet workers rarely contend.
 	RRL *rrl.Config
+
+	// Workers is the number of UDP packet workers sharing the socket
+	// (0 = 1). Each has its own buffers, decode scratch, and loss RNG.
+	Workers int
+
+	// Batch is the number of datagrams moved per recvmmsg/sendmmsg batch
+	// (0 = 32; 1 effectively disables batching).
+	Batch int
 
 	// Impairment models an overloaded site: each request is dropped with
 	// probability LossProb and successful replies are delayed by Delay.
 	LossProb float64
 	Delay    time.Duration
 
-	// Seed drives the loss coin; impairment is deterministic per seed
-	// and request order.
+	// Seed drives the loss coins. Each worker draws from its own RNG
+	// seeded by splitmix64(Seed, worker): for a fixed seed every worker's
+	// coin sequence is reproducible, and the aggregate drop rate is
+	// worker-count-independent (each stream is uniform; only the
+	// packet-to-worker assignment varies). Single-worker runs therefore
+	// reproduce exactly; multi-worker runs reproduce in distribution.
 	Seed int64
 }
+
+// defaultBatch is the per-syscall datagram budget when Config.Batch is 0.
+const defaultBatch = 32
 
 // Server is a running UDP DNS responder.
 type Server struct {
 	cfg      Config
 	identity string
 	conn     *net.UDPConn
-	tcpLn    *net.TCPListener
 	limiter  *rrl.Limiter
 	start    time.Time
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	closed   bool
+	// closed flips once in Close. The UDP workers read it lock-free; the
+	// TCP paths re-check it under mu (see Close for the deadline
+	// handshake that makes the drain race-free).
+	closed atomic.Bool
+
+	mu       sync.Mutex // guards tcpLn, tcpConns, and the TCP closed/deadline protocol
+	tcpLn    *net.TCPListener
 	tcpConns map[net.Conn]struct{}
 
 	wg sync.WaitGroup
 
-	// Stats, guarded by mu.
-	received, answered, droppedLoss, droppedRRL uint64
+	received, answered, droppedLoss, droppedRRL atomic.Uint64
+
+	// injectors counts NewInjector calls, giving each in-process lane a
+	// distinct RNG stream (see injectorStream).
+	injectors atomic.Int64
+
+	// Precomputed response tails (sections after the question), carved
+	// from the legacy encoder's output at startup; see buildTails.
+	identityTail, primingTail, nxdomainTail []byte
 }
 
 // Start creates the socket and begins serving.
@@ -87,18 +126,117 @@ func Start(cfg Config) (*Server, error) {
 		identity: identity,
 		conn:     conn,
 		start:    time.Now(),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = defaultBatch
 	}
 	if cfg.RRL != nil {
-		s.limiter, err = rrl.New(*cfg.RRL)
+		rrlCfg := *cfg.RRL
+		if rrlCfg.Shards == 0 {
+			rrlCfg.Shards = workers
+		}
+		s.limiter, err = rrl.New(rrlCfg)
 		if err != nil {
 			conn.Close()
 			return nil, err
 		}
 	}
-	s.wg.Add(1)
-	go s.serve()
+	if err := s.buildTails(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dnsserver: precompute responses: %w", err)
+	}
+	for i := 0; i < workers; i++ {
+		w, err := newWorker(s, batch, workerSeed(cfg.Seed, i))
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("dnsserver: worker %d: %w", i, err)
+		}
+		s.wg.Add(1)
+		go w.run() // joined by Close via s.wg
+	}
 	return s, nil
+}
+
+// workerSeed derives worker i's RNG seed from the config seed via the
+// splitmix64 finalizer (the same per-stream derivation internal/faults and
+// internal/core use), so workers draw decorrelated but reproducible coin
+// sequences.
+func workerSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// buildTails precomputes the serving responses by encoding them once
+// through the legacy path and slicing off everything after the question.
+// Each tail is position-independent by construction: record owner names are
+// either the root (one literal zero byte) or compressed pointers to the
+// question name, which AppendResponse always places at offset HeaderLen.
+func (s *Server) buildTails() error {
+	carve := func(q *dnswire.Message, fill func(*dnswire.Message) error) ([]byte, error) {
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+		if err := fill(resp); err != nil {
+			return nil, err
+		}
+		pkt, err := resp.Pack()
+		if err != nil {
+			return nil, err
+		}
+		nameLen, err := dnswire.EncodedNameLen(q.Questions[0].Name)
+		if err != nil {
+			return nil, err
+		}
+		return pkt[dnswire.HeaderLen+nameLen+4:], nil
+	}
+	var err error
+	s.identityTail, err = carve(
+		dnswire.NewQuery(0, "hostname.bind", dnswire.TypeTXT, dnswire.ClassCHAOS),
+		func(resp *dnswire.Message) error {
+			txt, err := dnswire.MakeTXT("hostname.bind", dnswire.ClassCHAOS, 0, s.identity)
+			if err != nil {
+				return err
+			}
+			resp.Answers = append(resp.Answers, txt)
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	s.primingTail, err = carve(
+		dnswire.NewQuery(0, "", dnswire.TypeNS, dnswire.ClassINET),
+		func(resp *dnswire.Message) error {
+			for _, l := range chaos.Letters() {
+				ns, err := dnswire.MakeNS("", 3600000, fmt.Sprintf("%c.root-servers.net", l+('a'-'A')))
+				if err != nil {
+					return err
+				}
+				resp.Answers = append(resp.Answers, ns)
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	s.nxdomainTail, err = carve(
+		dnswire.NewQuery(0, "www.336901.com", dnswire.TypeA, dnswire.ClassINET),
+		func(resp *dnswire.Message) error {
+			soa, err := dnswire.MakeSOA("", 86400, dnswire.SOAData{
+				MName: "a.root-servers.net", RName: "nstld.verisign-grs.com",
+				Serial: 2015113001, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400,
+			})
+			if err != nil {
+				return err
+			}
+			resp.Authority = append(resp.Authority, soa)
+			return nil
+		})
+	return err
 }
 
 // Addr returns the bound UDP address.
@@ -108,15 +246,15 @@ func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) 
 func (s *Server) Identity() string { return s.identity }
 
 // Close drains the server: it stops accepting new work, wakes every
-// blocked read, waits for in-flight requests to finish (their replies are
-// still delivered), then releases the sockets.
+// blocked read, waits for all packet workers and TCP handlers to join
+// (in-flight replies are still delivered), then releases the sockets.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.mu.Unlock()
 		return nil
 	}
-	s.closed = true
+	s.closed.Store(true)
 	tcpLn := s.tcpLn
 	// Nudge the read side of every live TCP connection; handlers that
 	// already read a query finish writing before they notice. Done under
@@ -127,8 +265,10 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 
-	// Wake the UDP read loop without closing the socket, so a request
-	// already being handled can still write its reply.
+	// Wake every UDP worker without closing the socket, so requests
+	// already being handled can still write their replies. The deadline
+	// stays in the past: each worker's next read returns a timeout, it
+	// observes closed, and exits.
 	s.conn.SetReadDeadline(aLongTimeAgo)
 	if tcpLn != nil {
 		tcpLn.Close()
@@ -138,25 +278,54 @@ func (s *Server) Close() error {
 }
 
 // isClosed reports whether Close has begun.
-func (s *Server) isClosed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
-}
+func (s *Server) isClosed() bool { return s.closed.Load() }
 
-// Stats returns cumulative request accounting.
+// Stats returns cumulative request accounting. It is lock-free and safe to
+// call at any rate while the server is under load.
 func (s *Server) Stats() (received, answered, droppedLoss, droppedRRL uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.received, s.answered, s.droppedLoss, s.droppedRRL
+	return s.received.Load(), s.answered.Load(), s.droppedLoss.Load(), s.droppedRRL.Load()
 }
 
-func (s *Server) serve() {
+// worker is one sharded packet loop: its own batch conn state, rx/tx
+// buffers, decode scratch, and loss RNG. Nothing here is shared, so the
+// per-packet path takes no locks (the batch read itself serializes on the
+// socket's poller lock exactly as concurrent ReadFromUDP calls would — see
+// DESIGN.md on why one shared socket beats stdlib-unreachable SO_REUSEPORT).
+type worker struct {
+	srv *Server
+	bc  *udpbatch.Conn
+	rng *rand.Rand
+	rx  []udpbatch.Message
+	tx  []udpbatch.Message
+	q   dnswire.Message
+}
+
+func newWorker(s *Server, batch int, seed int64) (*worker, error) {
+	bc, err := udpbatch.New(s.conn, batch)
+	if err != nil {
+		return nil, err
+	}
+	w := &worker{
+		srv: s,
+		bc:  bc,
+		rng: rand.New(rand.NewSource(seed)),
+		rx:  make([]udpbatch.Message, batch),
+		tx:  make([]udpbatch.Message, batch),
+	}
+	for i := range w.rx {
+		w.rx[i].Buf = make([]byte, 4096)
+	}
+	for i := range w.tx {
+		w.tx[i].Buf = make([]byte, 0, 1024)
+	}
+	return w, nil
+}
+
+func (w *worker) run() {
+	s := w.srv
 	defer s.wg.Done()
-	buf := make([]byte, 4096)
-	out := make([]byte, 0, 1024)
 	for {
-		n, src, err := s.conn.ReadFromUDP(buf)
+		n, err := w.bc.ReadBatch(w.rx)
 		if err != nil {
 			if s.isClosed() {
 				return
@@ -167,40 +336,92 @@ func (s *Server) serve() {
 			}
 			return
 		}
-		s.mu.Lock()
-		s.received++
-		lossCoin := s.rng.Float64()
-		s.mu.Unlock()
-
-		if lossCoin < s.cfg.LossProb {
-			s.mu.Lock()
-			s.droppedLoss++
-			s.mu.Unlock()
-			continue
+		outN := 0
+		for i := 0; i < n; i++ {
+			s.received.Add(1)
+			if w.rng.Float64() < s.cfg.LossProb {
+				s.droppedLoss.Add(1)
+				continue
+			}
+			if !s.respond(w.rx[i].Buf[:w.rx[i].N], w.rx[i].Addr, &w.q, &w.tx[outN]) {
+				continue
+			}
+			if s.cfg.Delay > 0 {
+				// Delay inline: one blocked request delays the batch
+				// behind it, which is exactly how a saturated ingress
+				// behaves.
+				time.Sleep(s.cfg.Delay)
+			}
+			w.tx[outN].Addr = w.rx[i].Addr
+			outN++
 		}
-		resp, ok := s.handle(buf[:n], src)
-		if !ok {
-			continue
-		}
-		if s.cfg.Delay > 0 {
-			// Delay inline: one blocked request delays the queue behind
-			// it, which is exactly how a saturated ingress behaves.
-			time.Sleep(s.cfg.Delay)
-		}
-		out = out[:0]
-		out, err = resp.Encode(out)
-		if err != nil {
-			continue
-		}
-		if _, err := s.conn.WriteToUDP(out, src); err == nil {
-			s.mu.Lock()
-			s.answered++
-			s.mu.Unlock()
+		if outN > 0 {
+			sent, _ := w.bc.WriteBatch(w.tx[:outN])
+			s.answered.Add(uint64(sent))
 		}
 	}
 }
 
-// handle parses one request and produces a response, applying RRL.
+// respond parses one request and encodes the response into out, applying
+// RRL. It is the UDP fast path: scratch-reusing decode, verdict, and a
+// tail-splicing encode, with zero heap allocations once warm.
+//
+//repolint:hot
+func (s *Server) respond(pkt []byte, src netip.AddrPort, q *dnswire.Message, out *udpbatch.Message) bool {
+	if err := dnswire.DecodeInto(pkt, q); err != nil || q.Header.Response || len(q.Questions) != 1 {
+		return false
+	}
+	if s.limiter != nil {
+		switch s.limiter.Check(rrlKey(src), time.Since(s.start).Milliseconds()) {
+		case rrl.Drop:
+			s.droppedRRL.Add(1)
+			return false
+		case rrl.Slip:
+			return s.encodeInto(out, q, dnswire.RCodeNoError, false, true, nil, 0, 0)
+		}
+	}
+	question := &q.Questions[0]
+	switch {
+	case question.Class == dnswire.ClassCHAOS && question.Type == dnswire.TypeTXT &&
+		(question.Name == "hostname.bind" || question.Name == "id.server"):
+		return s.encodeInto(out, q, dnswire.RCodeNoError, true, false, s.identityTail, 1, 0)
+	case question.Class == dnswire.ClassINET && question.Name == "" && question.Type == dnswire.TypeNS:
+		return s.encodeInto(out, q, dnswire.RCodeNoError, true, false, s.primingTail, 13, 0)
+	case question.Class == dnswire.ClassINET:
+		return s.encodeInto(out, q, dnswire.RCodeNXDomain, false, false, s.nxdomainTail, 0, 1)
+	}
+	return s.encodeInto(out, q, dnswire.RCodeRefused, false, false, nil, 0, 0)
+}
+
+// encodeInto writes one response into out's buffer.
+//
+//repolint:hot
+func (s *Server) encodeInto(out *udpbatch.Message, q *dnswire.Message, rcode dnswire.RCode, aa, tc bool, tail []byte, an, ns int) bool {
+	buf, err := dnswire.AppendResponse(out.Buf[:0], q, rcode, aa, tc, tail, an, ns, 0)
+	if err != nil {
+		return false
+	}
+	out.Buf, out.N = buf, len(buf)
+	return true
+}
+
+// rrlKey derives the 32-bit RRL key from a source address, matching the
+// legacy path's IPv4 treatment (non-IPv4 sources share key 0).
+//
+//repolint:hot
+func rrlKey(src netip.AddrPort) uint32 {
+	a := src.Addr()
+	if a.Is4() || a.Is4In6() {
+		b := a.As4()
+		return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+	return 0
+}
+
+// handle parses one request and produces a response — the legacy
+// one-Message-per-packet path, kept as the reference implementation the
+// fast path is tested against (equivalence_test.go) and benchmarked
+// against (BenchmarkFloodPath).
 func (s *Server) handle(pkt []byte, src *net.UDPAddr) (*dnswire.Message, bool) {
 	q, err := dnswire.Decode(pkt)
 	if err != nil || q.Header.Response || len(q.Questions) != 1 {
@@ -214,9 +435,7 @@ func (s *Server) handle(pkt []byte, src *net.UDPAddr) (*dnswire.Message, bool) {
 		}
 		switch s.limiter.Check(key, time.Since(s.start).Milliseconds()) {
 		case rrl.Drop:
-			s.mu.Lock()
-			s.droppedRRL++
-			s.mu.Unlock()
+			s.droppedRRL.Add(1)
 			return nil, false
 		case rrl.Slip:
 			resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
@@ -227,6 +446,9 @@ func (s *Server) handle(pkt []byte, src *net.UDPAddr) (*dnswire.Message, bool) {
 	return s.answer(q)
 }
 
+// answer builds the response for an accepted query. Shared by the TCP path
+// and the legacy reference path; the UDP fast path splices the same bytes
+// from precomputed tails.
 func (s *Server) answer(q *dnswire.Message) (*dnswire.Message, bool) {
 	question := q.Questions[0]
 	switch {

@@ -38,7 +38,7 @@ func (s *Server) serveTCP(ln *net.TCPListener) {
 		// Track the connection so Close can wake its blocked reads while
 		// letting an in-flight reply finish (graceful drain).
 		s.mu.Lock()
-		if s.closed {
+		if s.closed.Load() {
 			s.mu.Unlock()
 			conn.Close()
 			return
@@ -70,7 +70,7 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 		// Re-arm the idle deadline under mu so it cannot overwrite the
 		// past-deadline nudge a concurrent Close just applied.
 		s.mu.Lock()
-		if s.closed {
+		if s.closed.Load() {
 			s.mu.Unlock()
 			return
 		}
@@ -84,9 +84,7 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 			return
 		}
 		buf = raw[:0]
-		s.mu.Lock()
-		s.received++
-		s.mu.Unlock()
+		s.received.Add(1)
 
 		q, err := dnswire.Decode(raw)
 		if err != nil || q.Header.Response || len(q.Questions) != 1 {
@@ -104,8 +102,6 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 		if err := dnswire.WriteTCP(conn, out); err != nil {
 			return
 		}
-		s.mu.Lock()
-		s.answered++
-		s.mu.Unlock()
+		s.answered.Add(1)
 	}
 }

@@ -44,12 +44,21 @@ type RR struct {
 }
 
 // Message is a complete DNS message.
+//
+// A Message reused across DecodeInto calls additionally owns decode scratch
+// (an rdata arena and an interned-name cache, see fastpath.go); because of
+// that unexported state, compare decoded Messages section-by-section rather
+// than with reflect.DeepEqual on the whole struct.
 type Message struct {
 	Header     Header
 	Questions  []Question
 	Answers    []RR
 	Authority  []RR
 	Additional []RR
+
+	// scratch backs the allocation-free DecodeInto path; nil until the
+	// Message is first used with it.
+	scratch *decodeScratch
 }
 
 // flags packs the header booleans into the wire flags word.

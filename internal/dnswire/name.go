@@ -19,7 +19,10 @@ var (
 
 // CheckName validates a presentation-format name ("www.example.com" or
 // "www.example.com." or "." for the root). It returns the canonical form
-// (lower case, trailing dot removed, root = "").
+// (lower case, trailing dot removed, root = ""). Case folding is ASCII-only
+// (RFC 4343): DNS compares names octet-wise with only A-Z folded, and
+// running full Unicode lowering over raw wire labels would corrupt
+// non-UTF-8 octets.
 func CheckName(name string) (string, error) {
 	if name == "." || name == "" {
 		return "", nil
@@ -41,7 +44,24 @@ func CheckName(name string) (string, error) {
 	if total > MaxName {
 		return "", ErrNameTooLong
 	}
-	return strings.ToLower(name), nil
+	return asciiLower(name), nil
+}
+
+// asciiLower returns s with ASCII A-Z folded to a-z, allocating only when a
+// fold is actually needed. All other octets pass through untouched.
+func asciiLower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if 'A' <= b[j] && b[j] <= 'Z' {
+					b[j] += 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
 }
 
 // compressor tracks name suffixes already emitted into a message so later
@@ -107,7 +127,7 @@ func decodeName(msg []byte, off int) (string, int, error) {
 			if !jumped {
 				end = off + 1
 			}
-			return strings.ToLower(sb.String()), end, nil
+			return sb.String(), end, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
 				return "", 0, ErrTruncatedName
@@ -138,7 +158,12 @@ func decodeName(msg []byte, off int) (string, int, error) {
 			if sb.Len() > 0 {
 				sb.WriteByte('.')
 			}
-			sb.Write(msg[off+1 : off+1+b])
+			for _, c := range msg[off+1 : off+1+b] {
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				sb.WriteByte(c)
+			}
 			off += 1 + b
 			if !jumped {
 				end = off

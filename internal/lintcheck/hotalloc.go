@@ -12,13 +12,20 @@ const hotDirective = "//repolint:hot"
 
 // HotAllocAnalyzer protects the allocation-free hot paths behind the bench
 // gate: any function annotated `//repolint:hot` may not contain append,
-// make, new, a map or slice composite literal, or a function literal. The
-// bench gate catches a regression's symptom (allocs/op > 0); this rule
-// names the line that caused it, before the benchmark ever runs.
+// make, new, a map or slice composite literal, a function literal, or a
+// copying byte<->string conversion. The bench gate catches a regression's
+// symptom (allocs/op > 0); this rule names the line that caused it, before
+// the benchmark ever runs.
+//
+// The one exempt conversion is string(b) appearing directly as a map index
+// read — `m[string(b)]` as an rvalue — which the compiler recognizes and
+// performs without materializing the string (the interning idiom in
+// dnswire's decode scratch). Writing through the same key, `m[string(b)] =
+// v`, does allocate and is flagged.
 func HotAllocAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "hotalloc",
-		Doc:  "//repolint:hot functions stay allocation-free: no append, make, new, map/slice literals, or closures",
+		Doc:  "//repolint:hot functions stay allocation-free: no append, make, new, map/slice literals, closures, or byte<->string copies (map-read keys exempt)",
 		Run:  runHotAlloc,
 	}
 }
@@ -50,6 +57,7 @@ func isHot(fd *ast.FuncDecl) bool {
 }
 
 func checkHotBody(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	exempt := exemptMapReadKeys(info, fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -68,19 +76,123 @@ func checkHotBody(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
 				}
 			}
 		case *ast.CallExpr:
-			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
-			if !ok {
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "append", "make", "new":
+						pass.Reportf("hotalloc", n.Pos(),
+							"%s allocates in a %s function; the bench gate holds this path to zero allocs/op", id.Name, hotDirective)
+					}
+					return true
+				}
+			}
+			if exempt[n] {
 				return true
 			}
-			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
-				return true
-			}
-			switch id.Name {
-			case "append", "make", "new":
+			switch byteStringConversion(info, n) {
+			case toString:
 				pass.Reportf("hotalloc", n.Pos(),
-					"%s allocates in a %s function; the bench gate holds this path to zero allocs/op", id.Name, hotDirective)
+					"string([]byte) conversion copies in a %s function; compare bytes in place, or intern via an rvalue map read m[string(b)]", hotDirective)
+			case toBytes:
+				pass.Reportf("hotalloc", n.Pos(),
+					"[]byte(string) conversion copies in a %s function; write into a caller-provided buffer", hotDirective)
 			}
 		}
 		return true
 	})
+}
+
+// conversionKind classifies a copying byte<->string conversion.
+type conversionKind int
+
+const (
+	notConversion conversionKind = iota
+	toString                     // string(b) from []byte
+	toBytes                      // []byte(s) from string
+)
+
+// byteStringConversion reports whether call is a conversion between string
+// and []byte (either direction), the two conversions that copy their
+// operand on every execution.
+func byteStringConversion(info *types.Info, call *ast.CallExpr) conversionKind {
+	if len(call.Args) != 1 {
+		return notConversion
+	}
+	funTV, ok := info.Types[call.Fun]
+	if !ok || !funTV.IsType() {
+		return notConversion
+	}
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok {
+		return notConversion
+	}
+	if isString(funTV.Type) && isByteSlice(argTV.Type) {
+		return toString
+	}
+	if isByteSlice(funTV.Type) && isString(argTV.Type) {
+		return toBytes
+	}
+	return notConversion
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// exemptMapReadKeys collects the string([]byte) conversions appearing
+// directly as a map index in rvalue position — m[string(b)] reads, which
+// the compiler performs without allocating. Index expressions written
+// through (m[string(b)] = v, m[string(b)]++) stay flagged: assignment
+// materializes the key.
+func exemptMapReadKeys(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	lvalue := make(map[*ast.IndexExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					lvalue[ix] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				lvalue[ix] = true
+			}
+		}
+		return true
+	})
+	exempt := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok || lvalue[ix] {
+			return true
+		}
+		if tv, ok := info.Types[ix.X]; !ok || !isMap(tv.Type) {
+			return true
+		}
+		call, ok := ast.Unparen(ix.Index).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if byteStringConversion(info, call) == toString {
+			exempt[call] = true
+		}
+		return true
+	})
+	return exempt
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
 }

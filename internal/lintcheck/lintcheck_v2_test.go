@@ -73,7 +73,9 @@ func TestExitCodeFixture(t *testing.T) {
 }
 
 // TestHotAllocFixture checks the hotalloc rule: every allocating construct
-// in the //repolint:hot function, nothing in the unannotated or clean ones.
+// in the //repolint:hot functions — including both byte<->string conversion
+// directions and the lvalue map-key write — nothing in the unannotated or
+// clean ones, and nothing for the exempt rvalue map-read key (bad.go:45).
 func TestHotAllocFixture(t *testing.T) {
 	const dir = "internal/lintcheck/testdata/hotalloc"
 	diags := Run(loadFixture(t, "./"+dir), DefaultConfig())
@@ -84,6 +86,9 @@ func TestHotAllocFixture(t *testing.T) {
 		{"hotalloc", dir + "/bad.go", 13},
 		{"hotalloc", dir + "/bad.go", 14},
 		{"hotalloc", dir + "/bad.go", 15},
+		{"hotalloc", dir + "/bad.go", 43},
+		{"hotalloc", dir + "/bad.go", 44},
+		{"hotalloc", dir + "/bad.go", 46},
 	})
 }
 

@@ -1,6 +1,6 @@
-// Package hotalloc is a repolint fixture: a //repolint:hot function that
-// allocates six different ways, and clean counterparts. Exact line numbers
-// are asserted in internal/lintcheck/lintcheck_test.go.
+// Package hotalloc is a repolint fixture: //repolint:hot functions allocating
+// every way the rule knows, plus clean counterparts. Exact line numbers are
+// asserted in internal/lintcheck/lintcheck_v2_test.go.
 package hotalloc
 
 // Hot is annotated allocation-free but allocates on every line.
@@ -31,4 +31,23 @@ func HotClean(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// HotConvert is annotated and converts between bytes and string both ways.
+// The one clean line is the rvalue map read m[string(b)], which the
+// compiler performs without materializing the key; the same key written
+// through does allocate and stays flagged.
+//
+//repolint:hot
+func HotConvert(m map[string]int, b []byte, s string) int {
+	k := string(b)    // want hotalloc (line 43)
+	raw := []byte(s)  // want hotalloc (line 44)
+	n := m[string(b)] // clean: rvalue map-read key is exempt
+	m[string(b)] = n  // want hotalloc (line 46)
+	return len(k) + len(raw) + n
+}
+
+// ColdConvert converts with no annotation; no diagnostic expected.
+func ColdConvert(b []byte) string {
+	return string(b)
 }

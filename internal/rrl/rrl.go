@@ -64,6 +64,13 @@ type Config struct {
 	MaxEntries int
 	// IdleTimeoutMs evicts buckets untouched for this long (default 10s).
 	IdleTimeoutMs int64
+	// Shards splits the bucket table into independently locked shards so
+	// concurrent packet workers do not serialize on one mutex. A prefix
+	// always maps to the same shard, so per-prefix verdicts are identical
+	// for any shard count while the table is below capacity (MaxEntries is
+	// divided across shards, so *eviction* under a full table can differ).
+	// Defaults to 1: the single-lock behavior of earlier revisions.
+	Shards int
 }
 
 // DefaultConfig matches common authoritative-server settings.
@@ -96,6 +103,12 @@ func (c *Config) fillDefaults() error {
 	if c.IdleTimeoutMs == 0 {
 		c.IdleTimeoutMs = 10_000
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 {
+		return errors.New("rrl: Shards must be positive")
+	}
 	return nil
 }
 
@@ -105,20 +118,27 @@ type bucket struct {
 	suppressed int // counts suppressed responses for slip accounting
 }
 
-// Limiter rate-limits responses per source prefix. It is safe for
-// concurrent use.
-type Limiter struct {
-	cfg  Config
-	mask uint32
-
+// shard is one independently locked slice of the bucket table. Padding
+// would buy little here: the mutex hold covers a map op, not a counter.
+type shard struct {
 	mu      sync.Mutex
 	buckets map[uint32]*bucket
 	// lastSweepMs rate-limits full idle sweeps so spoofed floods of
 	// unique sources cannot force an O(table) scan on every insert.
 	lastSweepMs int64
+	maxEntries  int
 
 	// Stats, guarded by mu.
 	sent, dropped, slipped uint64
+}
+
+// Limiter rate-limits responses per source prefix. It is safe for
+// concurrent use; with Config.Shards > 1 concurrent callers touching
+// different prefixes rarely share a lock.
+type Limiter struct {
+	cfg    Config
+	mask   uint32
+	shards []shard
 }
 
 // New creates a limiter. The zero Config is invalid; start from
@@ -127,11 +147,34 @@ func New(cfg Config) (*Limiter, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &Limiter{
-		cfg:     cfg,
-		mask:    ^uint32(0) << (32 - cfg.PrefixBits),
-		buckets: make(map[uint32]*bucket),
-	}, nil
+	l := &Limiter{
+		cfg:    cfg,
+		mask:   ^uint32(0) << (32 - cfg.PrefixBits),
+		shards: make([]shard, cfg.Shards),
+	}
+	perShard := cfg.MaxEntries / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range l.shards {
+		l.shards[i].buckets = make(map[uint32]*bucket)
+		l.shards[i].maxEntries = perShard
+	}
+	return l, nil
+}
+
+// shardFor picks the shard holding key's bucket. The prefix mask zeroes the
+// low bits, so a modulo of the raw key would land everything in a handful
+// of shards; a splitmix-style multiply spreads the surviving high bits
+// first. The mapping depends only on the key, never on concurrency, so
+// verdict sequences per prefix are shard-count-independent.
+func (l *Limiter) shardFor(key uint32) *shard {
+	if len(l.shards) == 1 {
+		return &l.shards[0]
+	}
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return &l.shards[h%uint64(len(l.shards))]
 }
 
 // MustNew is New for known-good, compile-time-constant configs (tests and
@@ -148,16 +191,17 @@ func MustNew(cfg Config) *Limiter {
 // Check decides the fate of one response to src at the given time.
 func (l *Limiter) Check(src uint32, nowMs int64) Action {
 	key := src & l.mask
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	sh := l.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	b, ok := l.buckets[key]
+	b, ok := sh.buckets[key]
 	if !ok {
-		if len(l.buckets) >= l.cfg.MaxEntries {
-			l.evictLocked(nowMs)
+		if len(sh.buckets) >= sh.maxEntries {
+			sh.evictLocked(nowMs, l.cfg.IdleTimeoutMs)
 		}
 		b = &bucket{tokens: l.cfg.Burst, lastMs: nowMs}
-		l.buckets[key] = b
+		sh.buckets[key] = b
 	}
 	// Refill.
 	if nowMs > b.lastMs {
@@ -169,30 +213,30 @@ func (l *Limiter) Check(src uint32, nowMs int64) Action {
 	}
 	if b.tokens >= 1 {
 		b.tokens--
-		l.sent++
+		sh.sent++
 		return Send
 	}
 	b.suppressed++
 	if l.cfg.SlipRatio > 0 && b.suppressed%l.cfg.SlipRatio == 0 {
-		l.slipped++
+		sh.slipped++
 		return Slip
 	}
-	l.dropped++
+	sh.dropped++
 	return Drop
 }
 
-// evictLocked makes room in the state table. A full sweep of idle buckets
-// runs at most once per idle-timeout interval; between sweeps (the steady
-// state under a spoofed flood of unique sources, where nothing is ever
-// idle) a single arbitrary entry is dropped instead, keeping Check O(1)
-// amortized.
-func (l *Limiter) evictLocked(nowMs int64) {
-	if nowMs-l.lastSweepMs >= l.cfg.IdleTimeoutMs {
-		l.lastSweepMs = nowMs
+// evictLocked makes room in the shard's state table. A full sweep of idle
+// buckets runs at most once per idle-timeout interval; between sweeps (the
+// steady state under a spoofed flood of unique sources, where nothing is
+// ever idle) a single arbitrary entry is dropped instead, keeping Check
+// O(1) amortized.
+func (sh *shard) evictLocked(nowMs, idleTimeoutMs int64) {
+	if nowMs-sh.lastSweepMs >= idleTimeoutMs {
+		sh.lastSweepMs = nowMs
 		evicted := false
-		for k, b := range l.buckets {
-			if nowMs-b.lastMs > l.cfg.IdleTimeoutMs {
-				delete(l.buckets, k)
+		for k, b := range sh.buckets {
+			if nowMs-b.lastMs > idleTimeoutMs {
+				delete(sh.buckets, k)
 				evicted = true
 			}
 		}
@@ -200,24 +244,35 @@ func (l *Limiter) evictLocked(nowMs int64) {
 			return
 		}
 	}
-	for k := range l.buckets {
-		delete(l.buckets, k)
+	for k := range sh.buckets {
+		delete(sh.buckets, k)
 		break
 	}
 }
 
-// Stats reports cumulative verdict counts.
+// Stats reports cumulative verdict counts, summed over shards.
 func (l *Limiter) Stats() (sent, dropped, slipped uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.sent, l.dropped, l.slipped
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		sent += sh.sent
+		dropped += sh.dropped
+		slipped += sh.slipped
+		sh.mu.Unlock()
+	}
+	return sent, dropped, slipped
 }
 
 // Entries returns the current number of tracked prefixes.
 func (l *Limiter) Entries() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.buckets)
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.buckets)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // SuppressionModel provides the statistical counterpart used by the

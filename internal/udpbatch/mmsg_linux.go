@@ -1,0 +1,162 @@
+//go:build linux && (amd64 || arm64)
+
+package udpbatch
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+const batched = true
+
+// mmsghdr mirrors struct mmsghdr from recvmmsg(2): a plain msghdr plus the
+// kernel-filled datagram length. Both supported arches are 64-bit, so the
+// trailing pad brings the struct to the kernel's 64-byte layout.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// osConn is the per-Conn mmsg state. The syscall callbacks are built once
+// in init and communicate through the struct fields, so the hot path never
+// allocates a closure; cur/off/n/errno are only touched while the poller
+// holds the fd's read or write lock on behalf of this goroutine.
+type osConn struct {
+	rc    syscall.RawConn
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrAny
+
+	readFn  func(fd uintptr) bool
+	writeFn func(fd uintptr) bool
+	cur     int // messages in the current batch
+	off     int // messages already sent (write path)
+	n       int // result of the last syscall
+	errno   syscall.Errno
+}
+
+func (c *osConn) init(conn *net.UDPConn, batch int) error {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	c.rc = rc
+	c.hdrs = make([]mmsghdr, batch)
+	c.iovs = make([]syscall.Iovec, batch)
+	c.names = make([]syscall.RawSockaddrAny, batch)
+	c.readFn = func(fd uintptr) bool {
+		n, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&c.hdrs[0])), uintptr(c.cur), 0, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // not readable yet; poller waits for the fd
+		}
+		c.n, c.errno = int(n), e
+		return true
+	}
+	c.writeFn = func(fd uintptr) bool {
+		n, _, e := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&c.hdrs[c.off])), uintptr(c.cur-c.off), 0, 0, 0)
+		if e == syscall.EAGAIN {
+			return false
+		}
+		c.n, c.errno = int(n), e
+		return true
+	}
+	return nil
+}
+
+func (c *osConn) readBatch(_ *net.UDPConn, ms []Message) (int, error) {
+	if len(ms) > len(c.hdrs) {
+		ms = ms[:len(c.hdrs)]
+	}
+	for i := range ms {
+		c.iovs[i].Base = &ms[i].Buf[0]
+		c.iovs[i].SetLen(len(ms[i].Buf))
+		h := &c.hdrs[i]
+		h.hdr.Name = (*byte)(unsafe.Pointer(&c.names[i]))
+		h.hdr.Namelen = uint32(unsafe.Sizeof(c.names[i]))
+		h.hdr.Iov = &c.iovs[i]
+		h.hdr.Iovlen = 1
+		h.len = 0
+	}
+	c.cur = len(ms)
+	if err := c.rc.Read(c.readFn); err != nil {
+		return 0, err
+	}
+	if c.errno != 0 {
+		return 0, c.errno
+	}
+	for i := 0; i < c.n; i++ {
+		ms[i].N = int(c.hdrs[i].len)
+		ms[i].Addr = sockaddrToAddrPort(&c.names[i])
+	}
+	return c.n, nil
+}
+
+func (c *osConn) writeBatch(_ *net.UDPConn, ms []Message) (int, error) {
+	if len(ms) > len(c.hdrs) {
+		ms = ms[:len(c.hdrs)]
+	}
+	for i := range ms {
+		c.iovs[i].Base = &ms[i].Buf[0]
+		c.iovs[i].SetLen(ms[i].N)
+		h := &c.hdrs[i]
+		h.hdr.Name = (*byte)(unsafe.Pointer(&c.names[i]))
+		h.hdr.Namelen = putSockaddr(&c.names[i], ms[i].Addr)
+		h.hdr.Iov = &c.iovs[i]
+		h.hdr.Iovlen = 1
+	}
+	c.cur, c.off = len(ms), 0
+	// sendmmsg may accept fewer messages than asked; resume at the cut.
+	for c.off < c.cur {
+		if err := c.rc.Write(c.writeFn); err != nil {
+			return c.off, err
+		}
+		if c.errno != 0 {
+			return c.off, c.errno
+		}
+		c.off += c.n
+	}
+	return c.off, nil
+}
+
+// htons converts a port to network byte order; both supported arches are
+// little-endian, so this is an unconditional swap.
+func htons(p uint16) uint16 { return p>>8 | p<<8 }
+
+// sockaddrToAddrPort converts a kernel-filled sockaddr without allocating.
+func sockaddrToAddrPort(rsa *syscall.RawSockaddrAny) netip.AddrPort {
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), htons(sa.Port))
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr), htons(sa.Port))
+	default:
+		return netip.AddrPort{}
+	}
+}
+
+// putSockaddr fills rsa for ap and returns the sockaddr length. 4-in-6
+// mapped addresses are unmapped so an IPv4-only socket accepts them.
+func putSockaddr(rsa *syscall.RawSockaddrAny, ap netip.AddrPort) uint32 {
+	a := ap.Addr()
+	if a.Is4() || a.Is4In6() {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		sa.Family = syscall.AF_INET
+		sa.Port = htons(ap.Port())
+		sa.Addr = a.As4()
+		return syscall.SizeofSockaddrInet4
+	}
+	sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+	sa.Family = syscall.AF_INET6
+	sa.Port = htons(ap.Port())
+	sa.Addr = a.As16()
+	sa.Flowinfo = 0
+	sa.Scope_id = 0
+	return syscall.SizeofSockaddrInet6
+}

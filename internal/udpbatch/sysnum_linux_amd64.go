@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package udpbatch
+
+// The frozen syscall package predates sendmmsg, so the numbers live here
+// (arch-specific files, matching the kernel's tables).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package udpbatch
+
+// The frozen syscall package predates sendmmsg, so the numbers live here
+// (arch-specific files, matching the kernel's tables).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)
