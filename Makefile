@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build lint lint-baseline test race soak soak-resume campaign-smoke campaign-resume bench bench-server bench-gate bench-workers reproduce
+.PHONY: verify fmt vet build lint lint-baseline test race soak soak-resume soak-failover campaign-smoke campaign-resume bench bench-server bench-gate bench-workers reproduce
 
 # Keep bench going even if tee's upstream pipeline status matters on some
 # shells: the JSON step only runs when the bench run itself succeeded.
@@ -58,6 +58,14 @@ soak:
 # "Crash recovery"). Quick mode used by CI; crank -kills/-minutes to soak.
 soak-resume:
 	$(GO) run ./cmd/chaossoak -mode killresume -kills 3 -seed 7 -minutes 720
+
+# Live failover soak: run the site manager as a child over real sockets,
+# flood one site until both health signals corroborate, and require the
+# full loop — withdraw, catchment shift (verified by a real CHAOS probe),
+# SIGKILL + journal resume with the damping penalty intact, re-announce —
+# to close (see README "Live failover").
+soak-failover:
+	$(GO) run ./cmd/chaossoak -mode sitefailover -seed 7
 
 # Campaign degraded-mode smoke: sweep a tiny scenario grid containing one
 # scripted-panic and one scripted-stall scenario and require both to be

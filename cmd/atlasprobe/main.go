@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/rootevent/anycastddos/internal/core"
 	"github.com/rootevent/anycastddos/internal/dnsserver"
 	"github.com/rootevent/anycastddos/internal/report"
 	"github.com/rootevent/anycastddos/internal/rrl"
@@ -25,6 +26,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atlasprobe: ")
+	os.Exit(run())
+}
+
+func run() int {
 	letterFlag := flag.String("letter", "K", "root letter to emulate")
 	probes := flag.Int("probes", 40, "probes per site")
 	loss := flag.Float64("loss", 0.6, "loss probability at the stressed site")
@@ -54,7 +59,8 @@ func main() {
 				Seed: int64(srv),
 			})
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return core.ExitFailure
 			}
 			defer s.Close()
 			addrs = append(addrs, s.Addr())
@@ -102,8 +108,10 @@ func main() {
 		})
 	}
 	if err := report.WriteTable(os.Stdout, []string{"site", "replies", "mean RTT", "injected loss"}, rows); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitFailure
 	}
 	fmt.Println("\nThe degraded absorber answers fewer probes at higher RTT — the")
 	fmt.Println("signature the paper reads off K-AMS and K-NRT (Figures 6 and 7).")
+	return core.ExitOK
 }

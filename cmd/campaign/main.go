@@ -6,6 +6,13 @@
 //
 //	campaign -spec FILE -dir DIR [-resume] [-parallel N] [-timeout D]
 //	         [-stall-timeout D] [-retries N] [-seed N] [-progress]
+//	campaign diff OLD.json NEW.json
+//
+// The diff subcommand compares two campaign.json reports — grid
+// membership, per-scenario terminal status/failure class, embedded
+// outcome bytes, and the aggregate metrics — and exits 0 when they are
+// equivalent, 1 when they differ (the `git diff --exit-code` convention,
+// so a regression sweep can gate on it).
 //
 // The spec (see internal/campaign) declares per-axis value lists —
 // schedules, intensities, duration scales, target sets, defense policies,
@@ -48,6 +55,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("campaign: ")
+	os.Exit(run())
+}
+
+func run() int {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		return diffMain(os.Args[2:])
+	}
 
 	specPath := flag.String("spec", "", "campaign spec JSON (required)")
 	dir := flag.String("dir", "", "campaign directory: ledger, per-scenario state, report (required)")
@@ -62,24 +76,27 @@ func main() {
 	flag.Parse()
 
 	if *execScenario != "" {
-		os.Exit(childMain(*execScenario))
+		return childMain(*execScenario)
 	}
 	if *specPath == "" || *dir == "" {
 		log.Print("need -spec FILE and -dir DIR")
 		flag.Usage()
-		os.Exit(core.ExitFailure)
+		return core.ExitUsage
 	}
 	data, err := os.ReadFile(*specPath)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitFailure
 	}
 	spec, err := campaign.ParseSpec(data)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitUsage
 	}
 	self, err := os.Executable()
 	if err != nil {
-		log.Fatalf("resolve own binary for scenario children: %v", err)
+		log.Printf("resolve own binary for scenario children: %v", err)
+		return core.ExitFailure
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -103,11 +120,12 @@ func main() {
 	if err != nil {
 		code := core.ExitCode(err)
 		log.Printf("campaign failed (exit %d): %v", code, err)
-		os.Exit(code)
+		return code
 	}
 	reportPath := filepath.Join(*dir, campaign.ReportFileName)
 	if err := campaign.WriteReport(reportPath, rep); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return core.ExitFailure
 	}
 	log.Printf("%s: %d scenarios — %d completed, %d quarantined, %d pending -> %s",
 		rep.Name, rep.GridSize, rep.Completed, rep.Quarantined, rep.Pending, reportPath)
@@ -116,6 +134,32 @@ func main() {
 			log.Printf("  quarantined %s (%s)", sr.ID, sr.FailureClass)
 		}
 	}
+	return core.ExitOK
+}
+
+// diffMain is the diff subcommand: compare two campaign.json reports and
+// exit 0 on equivalence, 1 on difference.
+func diffMain(args []string) int {
+	if len(args) != 2 {
+		log.Print("usage: campaign diff OLD.json NEW.json")
+		return core.ExitUsage
+	}
+	oldRep, err := campaign.ReadReport(args[0])
+	if err != nil {
+		log.Print(err)
+		return core.ExitUsage
+	}
+	newRep, err := campaign.ReadReport(args[1])
+	if err != nil {
+		log.Print(err)
+		return core.ExitUsage
+	}
+	d := campaign.DiffReports(oldRep, newRep)
+	fmt.Print(d.Render())
+	if d.Empty() {
+		return core.ExitOK
+	}
+	return core.ExitFailure
 }
 
 // childMain is scenario-child mode: run one grid point and leave its

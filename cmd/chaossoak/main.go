@@ -29,9 +29,17 @@
 //	scenarios complete — the degraded-mode guarantee behind
 //	`make campaign-smoke`. Run it from the repository root.
 //
+//	-mode sitefailover: builds the sitemgr binary, runs it as a child
+//	serving three real loopback sites, floods one with real UDP until
+//	the manager withdraws it, verifies the catchment shift with a real
+//	CHAOS probe, SIGKILLs the manager and proves the journal resume
+//	keeps the site withdrawn with its damping penalty, then lifts the
+//	flood and watches the site heal back into rotation. The guarantee
+//	behind `make soak-failover`. Run it from the repository root.
+//
 // Usage:
 //
-//	chaossoak [-mode soak|killresume|campaignresume|campaignsmoke]
+//	chaossoak [-mode soak|killresume|campaignresume|campaignsmoke|sitefailover]
 //	          [-seeds N] [-profile light|heavy|monitor]
 //	          [-workers N] [-minutes N] [-equiv N] [-kills N] [-seed N]
 //
@@ -68,6 +76,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chaossoak: ")
+	os.Exit(run())
+}
+
+func run() int {
 	mode := flag.String("mode", "soak", "soak (fault-plan survival) or killresume (SIGKILL + checkpoint resume)")
 	seeds := flag.Int("seeds", 8, "soak: number of fault-plan seeds")
 	profileName := flag.String("profile", "heavy", "soak: fault profile: light, heavy, or monitor")
@@ -86,26 +98,38 @@ func main() {
 	switch *mode {
 	case "soak":
 		if err := soak(ctx, *seeds, *profileName, *workers, *minutes, *equiv); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return core.ExitCode(err)
 		}
 	case "killresume":
 		if err := killResume(ctx, *seed, *kills, *minutes, *workers); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return core.ExitCode(err)
 		}
 		log.Printf("killresume ok: %d kill cycles, resumed hash matches golden (seed %d)", *kills, *seed)
 	case "campaignresume":
 		if err := campaignResume(ctx, *seed, *kills); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return core.ExitCode(err)
 		}
 		log.Printf("campaignresume ok: %d kill cycles, resumed campaign.json matches golden byte for byte (seed %d)", *kills, *seed)
 	case "campaignsmoke":
 		if err := campaignSmoke(ctx); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return core.ExitCode(err)
 		}
 		log.Printf("campaignsmoke ok: panic and stall scenarios quarantined, clean scenarios completed")
+	case "sitefailover":
+		if err := siteFailover(ctx, *seed); err != nil {
+			log.Print(err)
+			return core.ExitCode(err)
+		}
+		log.Printf("sitefailover ok: withdraw, catchment shift, SIGKILL resume, and re-announce all verified (seed %d)", *seed)
 	default:
-		log.Fatalf("unknown -mode %q (soak, killresume, campaignresume, or campaignsmoke)", *mode)
+		log.Printf("unknown -mode %q (soak, killresume, campaignresume, campaignsmoke, or sitefailover)", *mode)
+		return core.ExitUsage
 	}
+	return core.ExitOK
 }
 
 // soak runs the fault-plan survival matrix, failing fast on the first

@@ -1,0 +1,332 @@
+package main
+
+// The sitefailover mode: an end-to-end proof of the self-healing site
+// manager over real sockets and real process death. It runs cmd/sitemgr as
+// a child, floods one site with real UDP until both health signals fail,
+// watches the manager withdraw it (state.json + journal), verifies the
+// catchment shift by re-probing a sampled AS's reassigned site address
+// with a real CHAOS query, SIGKILLs the manager while the site is out,
+// proves the journal resume restores the withdrawn state and damping
+// penalty, then lifts the flood and watches the site return to rotation.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/dnsserver"
+	"github.com/rootevent/anycastddos/internal/dnswire"
+	"github.com/rootevent/anycastddos/internal/sitemgr"
+)
+
+// siteFailover is the mode entry point.
+func siteFailover(ctx context.Context, seed int64) error {
+	work, err := os.MkdirTemp("", "chaossoak-sitefailover-*")
+	if err != nil {
+		return fmt.Errorf("workdir: %w", err)
+	}
+	defer os.RemoveAll(work)
+
+	bin := filepath.Join(work, "sitemgr-bin")
+	log.Printf("building sitemgr...")
+	if out, err := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/sitemgr").CombinedOutput(); err != nil {
+		return fmt.Errorf("build sitemgr (run from the repo root): %w\n%s", err, out)
+	}
+
+	statePath := filepath.Join(work, "state.json")
+	journalPath := filepath.Join(work, "journal.bin")
+	args := []string{
+		"-letter", "K", "-sites", "AMS,LHR,NRT",
+		"-seed", strconv.FormatInt(seed, 10),
+		"-interval", "100ms", "-fast",
+		"-rrl-rps", "20", "-samples", "16",
+		"-state", statePath, "-journal", journalPath,
+	}
+
+	// Phase 1: start the manager, wait for a fully healthy deployment.
+	child, childDone, err := startManager(ctx, bin, args)
+	if err != nil {
+		return err
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			child.Process.Kill()
+			<-childDone
+		}
+	}()
+	st, err := waitState(ctx, statePath, 30*time.Second, func(st *sitemgr.StateFile) bool {
+		return st.Announced == len(st.Sites) && allStates(st, "healthy")
+	})
+	if err != nil {
+		return fmt.Errorf("deployment never settled healthy: %w", err)
+	}
+	log.Printf("tick %d: all %d sites healthy and announced", st.Tick, len(st.Sites))
+
+	victim := st.Sites[0]
+	witness, ok := sampleServedBy(st, victim.Index)
+	if !ok {
+		return fmt.Errorf("no sampled AS routed to site %d; raise -samples", victim.Index)
+	}
+	if err := probeIdentity(ctx, witness.Addr, victim.Name); err != nil {
+		return fmt.Errorf("pre-flood witness probe: %w", err)
+	}
+	log.Printf("witness AS %d served by site %d (%s) at %s", witness.ASN, victim.Index, victim.Name, witness.Addr)
+
+	// Phase 2: flood the victim until both health signals fail and the
+	// manager withdraws it.
+	stopFlood, err := floodAddr(victim.Addr)
+	if err != nil {
+		return fmt.Errorf("start flood: %w", err)
+	}
+	floodStopped := false
+	defer func() {
+		if !floodStopped {
+			stopFlood()
+		}
+	}()
+	st, err = waitState(ctx, statePath, 60*time.Second, func(st *sitemgr.StateFile) bool {
+		return !st.Sites[victim.Index].Announced
+	})
+	if err != nil {
+		return fmt.Errorf("flooded site never withdrawn: %w", err)
+	}
+	log.Printf("tick %d: site %d withdrawn under flood (state %s, penalty %.0f)",
+		st.Tick, victim.Index, st.Sites[victim.Index].State, st.Sites[victim.Index].Penalty)
+	if err := requireJournal(journalPath, sitemgr.RecTransition, "withdraw"); err != nil {
+		return err
+	}
+
+	// Phase 3: the witness AS must now be served by a survivor — confirm
+	// with a real CHAOS probe against its reassigned address.
+	shifted, ok := sampleByASN(st, witness.ASN)
+	if !ok || shifted.Site == victim.Index {
+		return fmt.Errorf("witness AS %d still routed to the withdrawn site: %+v", witness.ASN, shifted)
+	}
+	if shifted.Site >= 0 {
+		newSite := st.Sites[shifted.Site]
+		if err := probeIdentity(ctx, shifted.Addr, newSite.Name); err != nil {
+			return fmt.Errorf("post-withdraw witness probe: %w", err)
+		}
+		log.Printf("catchment shifted: witness AS %d now served by site %d (%s)", witness.ASN, shifted.Site, newSite.Name)
+	}
+
+	// Phase 4: SIGKILL the manager while the site is out, then resume on
+	// the same journal. The resumed manager must come back withdrawn with
+	// a damping penalty — not fresh — while the flood still rages.
+	killed = true
+	if err := child.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL manager: %w", err)
+	}
+	<-childDone
+	if err := os.Remove(statePath); err != nil {
+		return fmt.Errorf("clear stale state file: %w", err)
+	}
+	log.Printf("manager SIGKILLed; resuming on the journal...")
+	child, childDone, err = startManager(ctx, bin, args)
+	if err != nil {
+		return err
+	}
+	killed = false
+	st, err = waitState(ctx, statePath, 30*time.Second, func(st *sitemgr.StateFile) bool {
+		return st.Tick >= 1
+	})
+	if err != nil {
+		return fmt.Errorf("resumed manager published no state: %w", err)
+	}
+	resumed := st.Sites[victim.Index]
+	if resumed.Announced || resumed.State == "healthy" {
+		return fmt.Errorf("journal resume lost the withdrawal: %+v", resumed)
+	}
+	if resumed.Penalty <= 0 {
+		return fmt.Errorf("journal resume lost the damping penalty: %+v", resumed)
+	}
+	log.Printf("resume ok: site %d still %s, penalty %.0f", victim.Index, resumed.State, resumed.Penalty)
+
+	// Phase 5: lift the flood; the site re-proves health and returns.
+	stopFlood()
+	floodStopped = true
+	st, err = waitState(ctx, statePath, 60*time.Second, func(st *sitemgr.StateFile) bool {
+		s := st.Sites[victim.Index]
+		return s.Announced && s.State == "healthy"
+	})
+	if err != nil {
+		return fmt.Errorf("site never returned to rotation: %w", err)
+	}
+	if err := probeIdentity(ctx, st.Sites[victim.Index].Addr, victim.Name); err != nil {
+		return fmt.Errorf("post-recovery probe: %w", err)
+	}
+	if err := requireJournal(journalPath, sitemgr.RecTransition, "announce"); err != nil {
+		return err
+	}
+	log.Printf("tick %d: site %d re-announced and healthy; failover loop closed", st.Tick, victim.Index)
+
+	// Shut the manager down cleanly (SIGTERM exits 0).
+	if err := child.Process.Signal(os.Interrupt); err != nil {
+		return fmt.Errorf("interrupt manager: %w", err)
+	}
+	killed = true // the deferred hard-kill is no longer needed
+	if werr := <-childDone; werr != nil {
+		return fmt.Errorf("manager exit after interrupt: %w", werr)
+	}
+	return nil
+}
+
+// startManager launches one sitemgr child and returns its wait channel.
+func startManager(ctx context.Context, bin string, args []string) (*exec.Cmd, chan error, error) {
+	cmd := exec.CommandContext(ctx, bin, args...)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		return nil, nil, fmt.Errorf("start sitemgr: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	return cmd, done, nil
+}
+
+// waitState polls the manager's atomic state file until pred holds.
+func waitState(ctx context.Context, path string, timeout time.Duration, pred func(*sitemgr.StateFile) bool) (*sitemgr.StateFile, error) {
+	deadline := time.Now().Add(timeout)
+	var last *sitemgr.StateFile
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		data, err := os.ReadFile(path)
+		if err == nil {
+			var st sitemgr.StateFile
+			// The write is atomic (rename), so a parse failure is a bug,
+			// not a torn read.
+			if err := json.Unmarshal(data, &st); err != nil {
+				return nil, fmt.Errorf("parse %s: %w", path, err)
+			}
+			last = &st
+			if pred(&st) {
+				return &st, nil
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if last != nil {
+		return nil, fmt.Errorf("timeout after %v; last state: tick %d, sites %s", timeout, last.Tick, summarize(last))
+	}
+	return nil, fmt.Errorf("timeout after %v; no state file at %s", timeout, path)
+}
+
+func summarize(st *sitemgr.StateFile) string {
+	var parts []string
+	for _, s := range st.Sites {
+		parts = append(parts, fmt.Sprintf("%d:%s/ann=%v", s.Index, s.State, s.Announced))
+	}
+	return strings.Join(parts, " ")
+}
+
+func allStates(st *sitemgr.StateFile, want string) bool {
+	for _, s := range st.Sites {
+		if s.State != want {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleServedBy finds a sampled AS currently routed to the given site.
+func sampleServedBy(st *sitemgr.StateFile, site int) (sitemgr.SampleRoute, bool) {
+	for _, s := range st.Samples {
+		if s.Site == site {
+			return s, true
+		}
+	}
+	return sitemgr.SampleRoute{}, false
+}
+
+// sampleByASN finds the sample entry for one AS.
+func sampleByASN(st *sitemgr.StateFile, asn int32) (sitemgr.SampleRoute, bool) {
+	for _, s := range st.Samples {
+		if s.ASN == asn {
+			return s, true
+		}
+	}
+	return sitemgr.SampleRoute{}, false
+}
+
+// probeIdentity sends a real CHAOS probe to addr and checks the site name
+// in the returned identity.
+func probeIdentity(ctx context.Context, addr, wantSite string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	p := dnsserver.NewProber(1)
+	p.Timeout = 2 * time.Second
+	p.Retries = 2
+	res, err := p.ProbeContext(ctx, udpAddr, 'K')
+	if err != nil {
+		return fmt.Errorf("probe %s: %w", addr, err)
+	}
+	if !res.Matched || res.Identity.Site != wantSite {
+		return fmt.Errorf("probe %s: identity %q, want site %s", addr, res.RawTXT, wantSite)
+	}
+	return nil
+}
+
+// requireJournal reads the live journal and checks a record with the given
+// type and action exists.
+func requireJournal(path, recType, action string) error {
+	recs, err := sitemgr.ReadJournal(path)
+	if err != nil {
+		return fmt.Errorf("read journal: %w", err)
+	}
+	for _, r := range recs {
+		if r.Type == recType && r.Action == action {
+			return nil
+		}
+	}
+	return fmt.Errorf("journal has no %s/%s record (%d records)", recType, action, len(recs))
+}
+
+// floodAddr sends CHAOS queries to addr as fast as a goroutine can.
+func floodAddr(addr string) (stop func(), err error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	q := dnswire.NewQuery(99, "hostname.bind", dnswire.TypeTXT, dnswire.ClassCHAOS)
+	pkt, err := q.Pack()
+	if err != nil {
+		return nil, errors.Join(err, conn.Close())
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			conn.Write(pkt)
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		conn.Close()
+	}, nil
+}

@@ -1,0 +1,176 @@
+// Command sitemgr runs the self-healing anycast site manager for one
+// letter: N real UDP/TCP DNS servers on loopback, health-assessed every
+// tick (active CHAOS probes + server counter deltas), announce/withdraw
+// driven through the simulated BGP fabric with flap damping and a
+// minimum-announced floor, and every decision journaled crash-safely so a
+// killed manager resumes with its damping history.
+//
+// The observable surface for soaks and dashboards is the -state file
+// (atomic JSON: per-site state, penalties, catchments, and sampled
+// ASN-to-site routings) and the -journal ledger (readable live with
+// sitemgr.ReadJournal).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/core"
+	"github.com/rootevent/anycastddos/internal/faults"
+	"github.com/rootevent/anycastddos/internal/rrl"
+	"github.com/rootevent/anycastddos/internal/sitemgr"
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sitemgr: ")
+	os.Exit(run())
+}
+
+func run() int {
+	letter := flag.String("letter", "K", "root letter to serve")
+	sitesFlag := flag.String("sites", "AMS,LHR,NRT", "comma-separated IATA site names")
+	minAnnounced := flag.Int("min-announced", 1, "never let announced sites drop below this floor")
+	seed := flag.Int64("seed", 7, "seed for topology, probes, and server coins")
+	journal := flag.String("journal", "", "decision journal path (crash-safe resume); empty disables")
+	state := flag.String("state", "", "atomic state.json path rewritten every tick; empty disables")
+	interval := flag.Duration("interval", 250*time.Millisecond, "assessment tick period")
+	ticks := flag.Int("ticks", 0, "stop after this many ticks (0 = run until interrupted)")
+	samples := flag.Int("samples", 8, "number of sampled ASNs published in the state file")
+	faultProfile := flag.String("faultprofile", "", "inject control-plane faults: healthmon (or light, heavy, monitor)")
+	faultSeed := flag.Int64("faultseed", 1, "seed for the injected fault plan")
+	rps := flag.Int("rrl-rps", 0, "per-server RRL responses/second (0 disables RRL)")
+	fast := flag.Bool("fast", false, "aggressive FSM tuning and short probe timeouts (soaks and demos)")
+	flag.Parse()
+
+	var sites []string
+	for _, s := range strings.Split(*sitesFlag, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			sites = append(sites, s)
+		}
+	}
+	if *letter == "" || len(sites) == 0 {
+		log.Print("need -letter and at least one -sites entry")
+		return core.ExitUsage
+	}
+
+	cfg := sitemgr.ManagerConfig{
+		Letter:       (*letter)[0],
+		Sites:        sites,
+		MinAnnounced: *minAnnounced,
+		Seed:         *seed,
+		JournalPath:  *journal,
+		StatePath:    *state,
+		Interval:     *interval,
+		SampleASNs:   spreadASNs(*samples),
+	}
+	if *rps > 0 {
+		cfg.RRL = &rrl.Config{ResponsesPerSecond: float64(*rps), Burst: float64(*rps), SlipRatio: 0, PrefixBits: 32}
+	}
+	if *fast {
+		cfg.FSM = sitemgr.Config{
+			StressTicks: 1, FailTicks: 2, RecoverTicks: 2, DrainTicks: 2,
+			ReprobeTicks: 2, ProbationTicks: 2, PenaltyHalfLife: 4,
+		}
+		cfg.ProbeTimeout = 150 * time.Millisecond
+		cfg.ProbeRetries = -1 // single attempt per tick
+	}
+	if *faultProfile != "" {
+		profile, err := faults.ProfileByName(*faultProfile)
+		if err != nil {
+			log.Print(err)
+			return core.ExitUsage
+		}
+		shape := faults.Shape{Minutes: 1 << 20, Sites: map[byte]int{cfg.Letter: len(sites)}}
+		compiled, err := faults.Compile(faults.RandomPlan(*faultSeed, profile), shape)
+		if err != nil {
+			log.Print(err)
+			return core.ExitUsage
+		}
+		cfg.Faults = compiled
+		log.Printf("injecting %s", compiled.Plan())
+	}
+
+	m, err := sitemgr.New(cfg)
+	if err != nil {
+		log.Print(err)
+		return core.ExitCode(err)
+	}
+	defer func() {
+		if cerr := m.Close(); cerr != nil {
+			log.Printf("close: %v", cerr)
+		}
+	}()
+
+	for i, s := range sites {
+		log.Printf("site %d %s at %s", i, s, m.SiteAddr(i))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *ticks > 0 {
+		for i := 0; i < *ticks; i++ {
+			if err := m.TickOnce(ctx); err != nil {
+				log.Print(err)
+				return core.ExitCode(err)
+			}
+			if err := sleepCtx(ctx, *interval); err != nil {
+				return core.ExitCanceled
+			}
+		}
+		report(m)
+		return core.ExitOK
+	}
+
+	err = m.Run(ctx)
+	report(m)
+	if errors.Is(err, context.Canceled) {
+		// An interrupt is the normal way to stop an open-ended run.
+		return core.ExitOK
+	}
+	if err != nil {
+		log.Print(err)
+		return core.ExitCode(err)
+	}
+	return core.ExitOK
+}
+
+// report logs the final per-site positions.
+func report(m *sitemgr.Manager) {
+	st := m.Status()
+	log.Printf("tick %d: %d/%d announced (fabric v%d)", st.Tick, st.Announced, len(st.Sites), st.Version)
+	for _, s := range st.Sites {
+		log.Printf("  site %d %s: %s penalty %.0f catchment %d restarts %d",
+			s.Index, s.Name, s.State, s.Penalty, s.Catchment, s.Restarts)
+	}
+}
+
+// spreadASNs picks n spread-out sample ASNs for the state file.
+func spreadASNs(n int) []topo.ASN {
+	out := make([]topo.ASN, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, topo.ASN(10+7*i))
+	}
+	return out
+}
+
+// sleepCtx sleeps d or returns early when ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

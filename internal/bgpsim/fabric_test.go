@@ -1,0 +1,116 @@
+package bgpsim
+
+import (
+	"testing"
+
+	"github.com/rootevent/anycastddos/internal/topo"
+)
+
+func fabricFixture(t *testing.T) (*topo.Graph, []Origin, *Fabric) {
+	t.Helper()
+	g, err := topo.Generate(topo.Config{Tier1s: 4, Tier2s: 25, Stubs: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origins := []Origin{
+		{Site: 0, Host: 0},
+		{Site: 1, Host: 1},
+		{Site: 2, Host: 2},
+	}
+	return g, origins, NewFabric(g, origins)
+}
+
+func TestFabricMatchesReferenceCompute(t *testing.T) {
+	g, origins, f := fabricFixture(t)
+	if f.Version() != 1 || f.AnnouncedCount() != 3 {
+		t.Fatalf("fresh fabric: version %d, announced %d", f.Version(), f.AnnouncedCount())
+	}
+	// Every announce-state the controller can reach must match the
+	// reference Compute for the same active vector.
+	check := func(active []bool) {
+		t.Helper()
+		want := Compute(g, origins, active)
+		got := f.Table()
+		if len(got.Routes) != len(want.Routes) {
+			t.Fatalf("table size %d vs %d", len(got.Routes), len(want.Routes))
+		}
+		for a := range want.Routes {
+			if got.Routes[a].Site != want.Routes[a].Site {
+				t.Fatalf("active=%v: AS %d routed to %d, reference says %d",
+					active, a, got.Routes[a].Site, want.Routes[a].Site)
+			}
+		}
+	}
+	check([]bool{true, true, true})
+
+	if !f.Withdraw(1) {
+		t.Fatal("withdraw of an announced origin reported no change")
+	}
+	check([]bool{true, false, true})
+	if f.AnnouncedCount() != 2 || f.Announced(1) {
+		t.Fatalf("withdraw state: count %d, announced(1)=%v", f.AnnouncedCount(), f.Announced(1))
+	}
+
+	if !f.Announce(1) {
+		t.Fatal("re-announce reported no change")
+	}
+	check([]bool{true, true, true})
+	if f.Version() != 3 {
+		t.Fatalf("version after two flips: %d", f.Version())
+	}
+}
+
+func TestFabricIdempotentFlips(t *testing.T) {
+	_, _, f := fabricFixture(t)
+	before := f.Table()
+	if f.Announce(0) {
+		t.Fatal("announcing an announced origin reported a change")
+	}
+	if f.Withdraw(2) != true || f.Withdraw(2) != false {
+		t.Fatal("double withdraw: second flip must be a no-op")
+	}
+	if f.Version() != 2 {
+		t.Fatalf("no-op flips bumped version: %d", f.Version())
+	}
+	// Published snapshots are stable across later flips.
+	if before.SiteOf(0) == NoSite {
+		t.Fatal("held snapshot mutated")
+	}
+}
+
+func TestFabricCatchmentShiftsOnWithdraw(t *testing.T) {
+	_, _, f := fabricFixture(t)
+	before := f.CatchmentSizes()
+	if before[1] == 0 {
+		t.Skip("site 1 attracted no ASes on this graph; fixture needs a new seed")
+	}
+	f.Withdraw(1)
+	after := f.CatchmentSizes()
+	if after[1] != 0 {
+		t.Fatalf("withdrawn site still serves %d ASes", after[1])
+	}
+	if after[0]+after[2] < before[0]+before[2] {
+		t.Fatalf("catchment shrank instead of shifting: %v -> %v", before, after)
+	}
+	// The withdrawn site's old clients now route elsewhere (or nowhere);
+	// SiteOf agrees with the table snapshot.
+	tbl := f.Table()
+	for a := range tbl.Routes {
+		if tbl.Routes[a].Site == 1 {
+			t.Fatalf("AS %d still routed to withdrawn site", a)
+		}
+		if f.SiteOf(topo.ASN(a)) != tbl.Routes[a].Site {
+			t.Fatalf("SiteOf(%d) disagrees with snapshot", a)
+		}
+	}
+}
+
+func TestFabricOutOfRangePanics(t *testing.T) {
+	_, _, f := fabricFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range origin index did not panic")
+		}
+	}()
+	f.Withdraw(99)
+}

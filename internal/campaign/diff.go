@@ -1,0 +1,200 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ReadReport loads a campaign.json written by WriteReport.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("campaign: parse report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// ScenarioDelta is one grid point that differs between two reports.
+type ScenarioDelta struct {
+	ID string `json:"id"`
+	// Kind is added, removed, status, class, or outcome.
+	Kind string `json:"kind"`
+	Old  string `json:"old,omitempty"`
+	New  string `json:"new,omitempty"`
+}
+
+// FieldDelta is one aggregate metric that moved between two reports.
+type FieldDelta struct {
+	Field string  `json:"field"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+}
+
+// ReportDiff is the structured difference between two campaign reports —
+// the review surface for "what changed between these two sweeps": grid
+// membership, per-scenario terminal states, embedded outcomes, and the
+// aggregate metrics.
+type ReportDiff struct {
+	OldName string `json:"old_name"`
+	NewName string `json:"new_name"`
+
+	// SpecChanged reports a different spec digest: the sweeps ran
+	// different grids or parameters, so scenario deltas below may reflect
+	// the spec change rather than engine behavior.
+	SpecChanged bool `json:"spec_changed,omitempty"`
+
+	Scenarios []ScenarioDelta `json:"scenarios,omitempty"`
+	Aggregate []FieldDelta    `json:"aggregate,omitempty"`
+}
+
+// Empty reports whether the two reports are equivalent.
+func (d *ReportDiff) Empty() bool {
+	return !d.SpecChanged && len(d.Scenarios) == 0 && len(d.Aggregate) == 0
+}
+
+// DiffReports compares two campaign reports scenario by scenario. Outcomes
+// are compared as recorded bytes: reports serialize deterministically, so
+// byte inequality means the scenario measured something different.
+func DiffReports(old, new *Report) *ReportDiff {
+	d := &ReportDiff{
+		OldName:     old.Name,
+		NewName:     new.Name,
+		SpecChanged: old.SpecDigest != new.SpecDigest,
+	}
+
+	oldByID := make(map[string]*ScenarioResult, len(old.Scenarios))
+	for i := range old.Scenarios {
+		oldByID[old.Scenarios[i].ID] = &old.Scenarios[i]
+	}
+	newByID := make(map[string]*ScenarioResult, len(new.Scenarios))
+	for i := range new.Scenarios {
+		newByID[new.Scenarios[i].ID] = &new.Scenarios[i]
+	}
+
+	// New-report order first (it is grid expansion order), then removals.
+	for i := range new.Scenarios {
+		ns := &new.Scenarios[i]
+		os_, ok := oldByID[ns.ID]
+		if !ok {
+			d.Scenarios = append(d.Scenarios, ScenarioDelta{ID: ns.ID, Kind: "added", New: ns.Status})
+			continue
+		}
+		if os_.Status != ns.Status {
+			d.Scenarios = append(d.Scenarios, ScenarioDelta{ID: ns.ID, Kind: "status", Old: os_.Status, New: ns.Status})
+		}
+		if os_.FailureClass != ns.FailureClass {
+			d.Scenarios = append(d.Scenarios, ScenarioDelta{ID: ns.ID, Kind: "class", Old: os_.FailureClass, New: ns.FailureClass})
+		}
+		if os_.Status == StatusCompleted && ns.Status == StatusCompleted &&
+			!bytes.Equal(compactJSON(os_.Outcome), compactJSON(ns.Outcome)) {
+			d.Scenarios = append(d.Scenarios, ScenarioDelta{ID: ns.ID, Kind: "outcome",
+				Old: outcomeDigest(os_.Outcome), New: outcomeDigest(ns.Outcome)})
+		}
+	}
+	var removed []string
+	for id := range oldByID {
+		if _, ok := newByID[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	sort.Strings(removed)
+	for _, id := range removed {
+		d.Scenarios = append(d.Scenarios, ScenarioDelta{ID: id, Kind: "removed", Old: oldByID[id].Status})
+	}
+
+	d.Aggregate = diffAggregates(old.Aggregate, new.Aggregate)
+	return d
+}
+
+// compactJSON strips insignificant whitespace so outcome comparison
+// survives re-indentation (WriteReport pretty-prints embedded raw JSON).
+func compactJSON(raw json.RawMessage) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return raw
+	}
+	return buf.Bytes()
+}
+
+// outcomeDigest renders a short stable label for an embedded outcome so a
+// diff line identifies the change without dumping the whole document.
+func outcomeDigest(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return "(none)"
+	}
+	sum := uint64(14695981039346656037) // FNV-1a, stable across platforms
+	for _, b := range compactJSON(raw) {
+		sum ^= uint64(b)
+		sum *= 1099511628211
+	}
+	return fmt.Sprintf("outcome:%016x", sum)
+}
+
+// diffAggregates lists every aggregate metric whose value moved.
+func diffAggregates(old, new *Aggregate) []FieldDelta {
+	var zero Aggregate
+	if old == nil {
+		old = &zero
+	}
+	if new == nil {
+		new = &zero
+	}
+	fields := []struct {
+		name     string
+		old, new float64
+	}{
+		{"min_event_availability", old.MinEventAvailability, new.MinEventAvailability},
+		{"mean_event_availability", old.MeanEventAvailability, new.MeanEventAvailability},
+		{"max_rtt_inflation", old.MaxRTTInflation, new.MaxRTTInflation},
+		{"total_route_changes", float64(old.TotalRouteChanges), float64(new.TotalRouteChanges)},
+		{"worst_user_fail_frac", old.WorstUserFailFrac, new.WorstUserFailFrac},
+	}
+	var out []FieldDelta
+	for _, f := range fields {
+		if f.old != f.new {
+			out = append(out, FieldDelta{Field: f.name, Old: f.old, New: f.new})
+		}
+	}
+	return out
+}
+
+// Render formats the diff for terminals, one line per delta.
+func (d *ReportDiff) Render() string {
+	if d.Empty() {
+		return fmt.Sprintf("campaigns %q and %q are equivalent\n", d.OldName, d.NewName)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "diff %q -> %q\n", d.OldName, d.NewName)
+	if d.SpecChanged {
+		b.WriteString("  spec digest changed: the grids are not the same sweep\n")
+	}
+	for _, s := range d.Scenarios {
+		switch s.Kind {
+		case "added":
+			fmt.Fprintf(&b, "  + %s (%s)\n", s.ID, s.New)
+		case "removed":
+			fmt.Fprintf(&b, "  - %s (was %s)\n", s.ID, s.Old)
+		default:
+			fmt.Fprintf(&b, "  ~ %s %s: %s -> %s\n", s.ID, s.Kind, orNone(s.Old), orNone(s.New))
+		}
+	}
+	for _, f := range d.Aggregate {
+		fmt.Fprintf(&b, "  ~ aggregate %s: %g -> %g\n", f.Field, f.Old, f.New)
+	}
+	return b.String()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

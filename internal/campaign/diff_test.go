@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diffFixture() (*Report, *Report) {
+	old := &Report{
+		Name:       "grid-a",
+		SpecDigest: "digest-1",
+		GridSize:   3,
+		Scenarios: []ScenarioResult{
+			{ID: "s1", Status: StatusCompleted, Outcome: json.RawMessage(`{"avail":0.9}`)},
+			{ID: "s2", Status: StatusCompleted, Outcome: json.RawMessage(`{"avail":0.8}`)},
+			{ID: "s3", Status: StatusQuarantined, FailureClass: "panic"},
+		},
+		Aggregate: &Aggregate{MinEventAvailability: 0.8, TotalRouteChanges: 4},
+	}
+	new := &Report{
+		Name:       "grid-a",
+		SpecDigest: "digest-1",
+		GridSize:   3,
+		Scenarios: []ScenarioResult{
+			{ID: "s1", Status: StatusCompleted, Outcome: json.RawMessage(`{"avail":0.9}`)},
+			{ID: "s2", Status: StatusCompleted, Outcome: json.RawMessage(`{"avail":0.8}`)},
+			{ID: "s3", Status: StatusQuarantined, FailureClass: "panic"},
+		},
+		Aggregate: &Aggregate{MinEventAvailability: 0.8, TotalRouteChanges: 4},
+	}
+	return old, new
+}
+
+func TestDiffReportsEquivalent(t *testing.T) {
+	old, new := diffFixture()
+	d := DiffReports(old, new)
+	if !d.Empty() {
+		t.Fatalf("identical reports diffed: %+v", d)
+	}
+	if !strings.Contains(d.Render(), "equivalent") {
+		t.Fatalf("render: %q", d.Render())
+	}
+}
+
+func TestDiffReportsScenarioDeltas(t *testing.T) {
+	old, new := diffFixture()
+	new.Scenarios[0].Outcome = json.RawMessage(`{"avail":0.5}`)                            // outcome moved
+	new.Scenarios[2].Status = StatusCompleted                                              // quarantine healed
+	new.Scenarios[2].FailureClass = ""                                                     // class cleared
+	new.Scenarios = append(new.Scenarios, ScenarioResult{ID: "s4", Status: StatusPending}) // grid grew
+	new.Aggregate.TotalRouteChanges = 9
+
+	d := DiffReports(old, new)
+	if d.Empty() || d.SpecChanged {
+		t.Fatalf("diff: %+v", d)
+	}
+	kinds := map[string]string{}
+	for _, s := range d.Scenarios {
+		kinds[s.ID+"/"+s.Kind] = s.Old + "->" + s.New
+	}
+	if _, ok := kinds["s1/outcome"]; !ok {
+		t.Fatalf("outcome delta missing: %v", kinds)
+	}
+	if got := kinds["s3/status"]; got != "quarantined->completed" {
+		t.Fatalf("status delta: %q (%v)", got, kinds)
+	}
+	if got := kinds["s3/class"]; got != "panic->" {
+		t.Fatalf("class delta: %q", got)
+	}
+	if got := kinds["s4/added"]; got != "->pending" {
+		t.Fatalf("added delta: %q", got)
+	}
+	if len(d.Aggregate) != 1 || d.Aggregate[0].Field != "total_route_changes" ||
+		d.Aggregate[0].Old != 4 || d.Aggregate[0].New != 9 {
+		t.Fatalf("aggregate deltas: %+v", d.Aggregate)
+	}
+	out := d.Render()
+	for _, want := range []string{"+ s4 (pending)", "~ s3 status: quarantined -> completed", "~ aggregate total_route_changes: 4 -> 9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffReportsRemovedAndSpec(t *testing.T) {
+	old, new := diffFixture()
+	new.SpecDigest = "digest-2"
+	new.Scenarios = new.Scenarios[:2] // s3 gone
+	d := DiffReports(old, new)
+	if !d.SpecChanged {
+		t.Fatal("spec change not flagged")
+	}
+	var removed *ScenarioDelta
+	for i := range d.Scenarios {
+		if d.Scenarios[i].Kind == "removed" {
+			removed = &d.Scenarios[i]
+		}
+	}
+	if removed == nil || removed.ID != "s3" || removed.Old != StatusQuarantined {
+		t.Fatalf("removed delta: %+v", d.Scenarios)
+	}
+	if !strings.Contains(d.Render(), "- s3 (was quarantined)") {
+		t.Fatalf("render:\n%s", d.Render())
+	}
+}
+
+func TestDiffReportsNilAggregates(t *testing.T) {
+	old, new := diffFixture()
+	new.Aggregate = nil // fully-degraded rerun
+	d := DiffReports(old, new)
+	if len(d.Aggregate) != 2 {
+		t.Fatalf("deltas against nil aggregate: %+v", d.Aggregate)
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	old, _ := diffFixture()
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := WriteReport(path, old); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffReports(old, got); !d.Empty() {
+		t.Fatalf("round trip diffed: %+v", d)
+	}
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,35 +1,29 @@
 package campaign
 
 // The campaign ledger: a crash-safe, append-only record of scenario
-// lifecycle events. Every record is length-prefixed, canonically encoded
-// JSON followed by its SHA-256, and every append is fsynced, so a SIGKILL
-// of the runner can at worst tear the final record — which recovery
-// detects and truncates away. A resumed campaign replays the ledger to
-// learn which scenarios completed (with their recorded outcomes, reused
-// verbatim so the final report is byte-identical), which were quarantined,
-// and which were in flight and must be re-queued.
+// lifecycle events, built on the shared internal/ledger framing (every
+// record is length-prefixed canonical JSON followed by its SHA-256, every
+// append fsynced), so a SIGKILL of the runner can at worst tear the final
+// record — which recovery detects and truncates away. A resumed campaign
+// replays the ledger to learn which scenarios completed (with their
+// recorded outcomes, reused verbatim so the final report is
+// byte-identical), which were quarantined, and which were in flight and
+// must be re-queued.
 
 import (
-	"bytes"
-	"crypto/sha256"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"sync"
+
+	"github.com/rootevent/anycastddos/internal/ledger"
 )
 
-// ledgerMagic opens every ledger file; the version byte follows it.
+// ledgerFormat identifies campaign ledger files: the RDNSCLGR magic and the
+// current record-format version byte.
+var ledgerFormat = ledger.Format{Magic: "RDNSCLGR", Version: 1}
+
+// ledgerMagic is kept for tests that construct raw ledger headers.
 const ledgerMagic = "RDNSCLGR"
-
-// ledgerVersion is the current record-format version.
-const ledgerVersion = 1
-
-// maxRecordBytes caps one record's payload so a corrupted length prefix
-// cannot drive a huge allocation.
-const maxRecordBytes = 16 << 20
 
 // ErrLedgerVersion marks a ledger written by an incompatible format
 // version.
@@ -76,8 +70,41 @@ type Record struct {
 // Ledger is an open, append-positioned campaign ledger. Append is safe
 // for concurrent use by the runner's scenario workers.
 type Ledger struct {
-	mu sync.Mutex
-	f  *os.File
+	l *ledger.Ledger
+}
+
+// decodeRecords unmarshals recovered payloads; the shared framing already
+// verified their checksums, and the recordValid gate already rejected
+// payloads that do not parse, so these unmarshals cannot fail.
+func decodeRecords(payloads [][]byte) []Record {
+	recs := make([]Record, 0, len(payloads))
+	for _, p := range payloads {
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			break // unreachable: recordValid filtered this payload
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	return recs
+}
+
+// recordValid ends the readable prefix at the first checksum-valid payload
+// that nonetheless fails to parse as a Record — preserving the recovery
+// semantics the runner has always had.
+func recordValid(payload []byte) bool {
+	var rec Record
+	return json.Unmarshal(payload, &rec) == nil
+}
+
+// translateErr maps shared-framing errors onto the campaign sentinels.
+func translateErr(err error) error {
+	if errors.Is(err, ledger.ErrVersion) {
+		return fmt.Errorf("%w: %w", ErrLedgerVersion, err)
+	}
+	return err
 }
 
 // OpenLedger opens (creating if absent) the ledger at path, recovers the
@@ -87,32 +114,11 @@ type Ledger struct {
 // discarded; so is anything after a corrupted record, since nothing past
 // a bad length prefix can be trusted.
 func OpenLedger(path string) (*Ledger, []Record, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	l, payloads, err := ledger.Open(path, ledgerFormat, recordValid)
 	if err != nil {
-		return nil, nil, fmt.Errorf("campaign: open ledger: %w", err)
+		return nil, nil, translateErr(err)
 	}
-	// The file is open for writing, so even on these abort paths the Close
-	// error rides along with the primary failure instead of being dropped.
-	fail := func(e error) (*Ledger, []Record, error) {
-		return nil, nil, errors.Join(e, f.Close())
-	}
-	recs, good, err := recoverRecords(f)
-	if err != nil {
-		return fail(err)
-	}
-	if err := f.Truncate(good); err != nil {
-		return fail(fmt.Errorf("campaign: truncate torn ledger tail: %w", err))
-	}
-	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		return fail(fmt.Errorf("campaign: seek ledger: %w", err))
-	}
-	l := &Ledger{f: f}
-	if good == 0 {
-		if err := l.writeHeader(); err != nil {
-			return fail(err)
-		}
-	}
-	return l, recs, nil
+	return &Ledger{l: l}, decodeRecords(payloads), nil
 }
 
 // ReadRecords recovers the readable records of the ledger at path without
@@ -120,86 +126,11 @@ func OpenLedger(path string) (*Ledger, []Record, error) {
 // observation path used by the soak harness while a runner is live. A
 // missing file reads as an empty ledger.
 func ReadRecords(path string) ([]Record, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
+	payloads, err := ledger.Read(path, ledgerFormat, recordValid)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: read ledger: %w", err)
+		return nil, translateErr(err)
 	}
-	defer f.Close()
-	recs, _, err := recoverRecords(f)
-	return recs, err
-}
-
-// recoverRecords parses records from the start of f, returning them along
-// with the byte offset after the last fully-valid record (the truncation
-// point). Only a wrong magic or an incompatible version is an error:
-// torn and corrupt data simply ends the readable prefix.
-func recoverRecords(f *os.File) ([]Record, int64, error) {
-	data, err := io.ReadAll(f)
-	if err != nil {
-		return nil, 0, fmt.Errorf("campaign: read ledger: %w", err)
-	}
-	headerLen := len(ledgerMagic) + 1
-	if len(data) < headerLen {
-		// Empty or torn header: treat the whole file as absent.
-		return nil, 0, nil
-	}
-	if string(data[:len(ledgerMagic)]) != ledgerMagic {
-		return nil, 0, fmt.Errorf("campaign: %s is not a campaign ledger (bad magic)", f.Name())
-	}
-	if v := data[len(ledgerMagic)]; v != ledgerVersion {
-		return nil, 0, fmt.Errorf("%w: ledger version %d, this build reads %d", ErrLedgerVersion, v, ledgerVersion)
-	}
-	var recs []Record
-	off := headerLen
-	good := int64(off)
-	for {
-		rec, next, ok := parseRecord(data, off)
-		if !ok {
-			break
-		}
-		recs = append(recs, rec)
-		off = next
-		good = int64(off)
-	}
-	return recs, good, nil
-}
-
-// parseRecord reads one record at off; ok is false at a clean end of
-// file, a torn tail, or any corruption.
-func parseRecord(data []byte, off int) (Record, int, bool) {
-	var zero Record
-	if off+4 > len(data) {
-		return zero, 0, false
-	}
-	n := int(binary.LittleEndian.Uint32(data[off:]))
-	if n <= 0 || n > maxRecordBytes || off+4+n+sha256.Size > len(data) {
-		return zero, 0, false
-	}
-	payload := data[off+4 : off+4+n]
-	sum := sha256.Sum256(payload)
-	if !bytes.Equal(sum[:], data[off+4+n:off+4+n+sha256.Size]) {
-		return zero, 0, false
-	}
-	var rec Record
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return zero, 0, false
-	}
-	return rec, off + 4 + n + sha256.Size, true
-}
-
-// writeHeader emits the magic and version, durably.
-func (l *Ledger) writeHeader() error {
-	hdr := append([]byte(ledgerMagic), ledgerVersion)
-	if _, err := l.f.Write(hdr); err != nil {
-		return fmt.Errorf("campaign: write ledger header: %w", err)
-	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("campaign: sync ledger: %w", err)
-	}
-	return nil
+	return decodeRecords(payloads), nil
 }
 
 // Append encodes, writes, and fsyncs one record. The write is a single
@@ -210,31 +141,15 @@ func (l *Ledger) Append(rec Record) error {
 	if err != nil {
 		return fmt.Errorf("campaign: encode ledger record: %w", err)
 	}
-	if len(payload) > maxRecordBytes {
-		return fmt.Errorf("campaign: ledger record of %d bytes exceeds the %d cap", len(payload), maxRecordBytes)
-	}
-	buf := make([]byte, 0, 4+len(payload)+sha256.Size)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = append(buf, payload...)
-	sum := sha256.Sum256(payload)
-	buf = append(buf, sum[:]...)
-
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, err := l.f.Write(buf); err != nil {
-		return fmt.Errorf("campaign: append ledger record: %w", err)
-	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("campaign: sync ledger: %w", err)
+	if err := l.l.Append(payload); err != nil {
+		return fmt.Errorf("campaign: ledger: %w", err)
 	}
 	return nil
 }
 
 // Close releases the ledger file.
 func (l *Ledger) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.f.Close()
+	return l.l.Close()
 }
 
 // Quarantine is one permanently-failed scenario's terminal state.

@@ -1,0 +1,148 @@
+package dnsserver
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/rootevent/anycastddos/internal/dnswire"
+)
+
+func TestStatsHelpers(t *testing.T) {
+	prev := Stats{Received: 100, Answered: 80, DroppedLoss: 5, DroppedRRL: 10, Ignored: 2}
+	cur := Stats{Received: 300, Answered: 240, DroppedLoss: 15, DroppedRRL: 30, Ignored: 6}
+	d := cur.Sub(prev)
+	want := Stats{Received: 200, Answered: 160, DroppedLoss: 10, DroppedRRL: 20, Ignored: 4}
+	if d != want {
+		t.Fatalf("Sub: got %+v want %+v", d, want)
+	}
+	if got := d.LossRate(); got != 0.05 {
+		t.Errorf("LossRate: got %v want 0.05", got)
+	}
+	if got := d.RRLRate(); got != 0.1 {
+		t.Errorf("RRLRate: got %v want 0.1", got)
+	}
+	if got := d.Backlog(); got != 6 {
+		t.Errorf("Backlog: got %v want 6", got)
+	}
+
+	// A counter reset (restarted server) saturates to zero, never wraps.
+	if got := prev.Sub(cur); got != (Stats{}) {
+		t.Errorf("Sub after reset: got %+v want zero", got)
+	}
+	// More resolved than received (transient snapshot skew) saturates too.
+	skew := Stats{Received: 10, Answered: 11}
+	if got := skew.Backlog(); got != 0 {
+		t.Errorf("Backlog skew: got %v want 0", got)
+	}
+	// Rates on an idle window are zero, not NaN.
+	var idle Stats
+	if idle.LossRate() != 0 || idle.RRLRate() != 0 {
+		t.Errorf("idle rates: got %v/%v", idle.LossRate(), idle.RRLRate())
+	}
+}
+
+func TestSnapshotCountsIgnored(t *testing.T) {
+	s := startServer(t, Config{Letter: 'K', Site: "AMS", Server: 1})
+	conn, err := net.DialUDP("udp", nil, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A malformed datagram counts as received-but-ignored, keeping
+	// Backlog at zero once the worker has processed it.
+	if _, err := conn.Write([]byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var snap Stats
+	for time.Now().Before(deadline) {
+		snap = s.Snapshot()
+		if snap.Ignored >= 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if snap.Ignored < 1 || snap.Received < 1 {
+		t.Fatalf("malformed packet not accounted: %+v", snap)
+	}
+	if snap.Backlog() != 0 {
+		t.Fatalf("ignored packet left phantom backlog: %+v", snap)
+	}
+
+	// Snapshot and the legacy Stats() tuple agree.
+	received, answered, droppedLoss, droppedRRL := s.Stats()
+	if snap2 := s.Snapshot(); snap2.Received != received || snap2.Answered != answered ||
+		snap2.DroppedLoss != droppedLoss || snap2.DroppedRRL != droppedRRL {
+		t.Fatalf("Snapshot %+v disagrees with Stats (%d,%d,%d,%d)",
+			snap2, received, answered, droppedLoss, droppedRRL)
+	}
+	if s.Uptime() <= 0 {
+		t.Fatal("Uptime not positive")
+	}
+}
+
+func TestDrainTCPKeepsUDPServing(t *testing.T) {
+	s := startTCPServer(t, Config{Letter: 'K', Site: "LHR", Server: 1})
+
+	// Park an idle TCP connection, then drain: it must close promptly.
+	idle, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	s.SetDraining(true)
+	if !s.Draining() {
+		t.Fatal("Draining() false after SetDraining(true)")
+	}
+	if err := idle.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idle.Read(make([]byte, 1)); err == nil {
+		t.Fatal("idle TCP conn survived drain")
+	}
+
+	// New TCP connections are refused (accepted then immediately closed),
+	// without killing the accept loop.
+	fresh, err := net.Dial("tcp", s.Addr().String())
+	if err == nil {
+		fresh.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, rerr := fresh.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("new TCP conn served while draining")
+		}
+		fresh.Close()
+	}
+
+	// UDP keeps answering: a drained site still serves its residual
+	// catchment, it just stops holding TCP retries.
+	p := NewProber(1)
+	p.Timeout = 2 * time.Second
+	res, err := p.Probe(s.Addr(), 'K')
+	if err != nil {
+		t.Fatalf("UDP probe during drain: %v", err)
+	}
+	if !res.Matched || res.Identity.Site != "LHR" {
+		t.Fatalf("probe during drain: %+v", res)
+	}
+
+	// Undrain: TCP service resumes on the same listener.
+	s.SetDraining(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		again, err := net.Dial("tcp", s.Addr().String())
+		if err == nil {
+			resp, qerr := dnswire.ExchangeTCP(again, dnswire.NewQuery(9, "hostname.bind", dnswire.TypeTXT, dnswire.ClassCHAOS))
+			again.Close()
+			if qerr == nil && len(resp.Answers) == 1 {
+				return
+			}
+			err = qerr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("TCP service did not resume after undrain: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

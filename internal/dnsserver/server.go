@@ -94,6 +94,15 @@ type Server struct {
 
 	received, answered, droppedLoss, droppedRRL atomic.Uint64
 
+	// ignored counts requests that produced no response for protocol
+	// reasons (malformed, response-bit set, multi-question, encode
+	// failure) so Stats snapshots can account for every received packet.
+	ignored atomic.Uint64
+
+	// draining flips while the TCP side is gracefully shedding
+	// connections (SetDraining); unlike closed it is reversible.
+	draining atomic.Bool
+
 	// injectors counts NewInjector calls, giving each in-process lane a
 	// distinct RNG stream (see injectorStream).
 	injectors atomic.Int64
@@ -369,6 +378,7 @@ func (w *worker) run() {
 //repolint:hot
 func (s *Server) respond(pkt []byte, src netip.AddrPort, q *dnswire.Message, out *udpbatch.Message) bool {
 	if err := dnswire.DecodeInto(pkt, q); err != nil || q.Header.Response || len(q.Questions) != 1 {
+		s.ignored.Add(1)
 		return false
 	}
 	if s.limiter != nil {
@@ -399,6 +409,7 @@ func (s *Server) respond(pkt []byte, src netip.AddrPort, q *dnswire.Message, out
 func (s *Server) encodeInto(out *udpbatch.Message, q *dnswire.Message, rcode dnswire.RCode, aa, tc bool, tail []byte, an, ns int) bool {
 	buf, err := dnswire.AppendResponse(out.Buf[:0], q, rcode, aa, tc, tail, an, ns, 0)
 	if err != nil {
+		s.ignored.Add(1)
 		return false
 	}
 	out.Buf, out.N = buf, len(buf)
@@ -425,6 +436,7 @@ func rrlKey(src netip.AddrPort) uint32 {
 func (s *Server) handle(pkt []byte, src *net.UDPAddr) (*dnswire.Message, bool) {
 	q, err := dnswire.Decode(pkt)
 	if err != nil || q.Header.Response || len(q.Questions) != 1 {
+		s.ignored.Add(1)
 		return nil, false
 	}
 	if s.limiter != nil {

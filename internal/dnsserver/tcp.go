@@ -35,6 +35,13 @@ func (s *Server) serveTCP(ln *net.TCPListener) {
 		if err != nil {
 			return // closed
 		}
+		// While draining, refuse new connections but keep accepting — an
+		// undrained (re-announced) site must serve TCP again without a
+		// listener restart.
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
 		// Track the connection so Close can wake its blocked reads while
 		// letting an in-flight reply finish (graceful drain).
 		s.mu.Lock()
@@ -68,9 +75,10 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 	out := make([]byte, 0, 1024)
 	for {
 		// Re-arm the idle deadline under mu so it cannot overwrite the
-		// past-deadline nudge a concurrent Close just applied.
+		// past-deadline nudge a concurrent Close or SetDraining just
+		// applied.
 		s.mu.Lock()
-		if s.closed.Load() {
+		if s.closed.Load() || s.draining.Load() {
 			s.mu.Unlock()
 			return
 		}
@@ -88,15 +96,18 @@ func (s *Server) handleTCPConn(conn net.Conn) {
 
 		q, err := dnswire.Decode(raw)
 		if err != nil || q.Header.Response || len(q.Questions) != 1 {
+			s.ignored.Add(1)
 			return
 		}
 		resp, ok := s.answer(q)
 		if !ok {
+			s.ignored.Add(1)
 			return
 		}
 		out = out[:0]
 		out, err = resp.Encode(out)
 		if err != nil {
+			s.ignored.Add(1)
 			return
 		}
 		if err := dnswire.WriteTCP(conn, out); err != nil {

@@ -16,11 +16,12 @@ type Shape struct {
 // letterFaults holds a letter's events bucketed by kind, with Site
 // already normalized into [0, nSites) (or AnySite).
 type letterFaults struct {
-	outages  []Event
-	flaps    []Event
-	degrades []Event
-	bursts   []Event
-	gaps     []Event
+	outages   []Event
+	flaps     []Event
+	degrades  []Event
+	bursts    []Event
+	gaps      []Event
+	probeLoss []Event
 }
 
 // Compiled is a plan resolved against a shape. All lookup methods are
@@ -85,6 +86,8 @@ func Compile(p *Plan, sh Shape) (*Compiled, error) {
 				lf.bursts = append(lf.bursts, ev)
 			case MonitorGap:
 				lf.gaps = append(lf.gaps, ev)
+			case HealthProbeLoss:
+				lf.probeLoss = append(lf.probeLoss, ev)
 			}
 		}
 	}
@@ -171,6 +174,27 @@ func (c *Compiled) MonitorGapAt(letter byte, minute int) bool {
 	}
 	for _, e := range lf.gaps {
 		if e.ActiveAt(minute) {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbeDropped reports whether health-probe attempt number `attempt`
+// toward a letter's site is swallowed by a HealthProbeLoss fault at a
+// minute. The coin is a stable per-(event, attempt) hash, so a given
+// attempt either always or never sees the drop — replays of the same
+// probe schedule observe the same losses at any worker count.
+func (c *Compiled) ProbeDropped(letter byte, site, minute int, attempt uint64) bool {
+	lf := c.byLetter[letter]
+	if lf == nil {
+		return false
+	}
+	for _, e := range lf.probeLoss {
+		if !e.ActiveAt(minute) || !matches(e, site) {
+			continue
+		}
+		if hashCoin(e.Seed, attempt) < e.Severity {
 			return true
 		}
 	}

@@ -49,6 +49,13 @@ const (
 	// MonitorGap suppresses the letter's RSSAC-002 measurement for the
 	// window: the affected minutes go missing from the daily report.
 	MonitorGap
+	// HealthProbeLoss drops a Severity-sized fraction of the *control
+	// plane's* active health probes toward the target site — the data
+	// plane is untouched. This is the fault that tempts a health-driven
+	// site manager into withdrawing a healthy site on probe evidence
+	// alone, which is why its monitor demands corroborating server-side
+	// signals before acting.
+	HealthProbeLoss
 
 	numKinds
 )
@@ -68,6 +75,8 @@ func (k Kind) String() string {
 		return "packet-loss-burst"
 	case MonitorGap:
 		return "monitor-gap"
+	case HealthProbeLoss:
+		return "health-probe-loss"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -240,8 +249,21 @@ func MonitorProfile() Profile {
 	}
 }
 
+// HealthMonProfile faults the control plane a self-healing site manager
+// depends on: dropped health probes (the false-alarm generator) mixed with
+// real site outages and path-loss bursts, so a soak exercises both "probe
+// says down, site is fine" and "probe says down, site is down".
+func HealthMonProfile() Profile {
+	return Profile{
+		Name: "healthmon", Minutes: 2880, Events: 10,
+		Kinds:       []Kind{HealthProbeLoss, SiteOutage, PacketLossBurst},
+		MinDuration: 10, MaxDuration: 90, MaxSeverity: 0.8,
+		Letters: []byte(rootLetters), MaxSite: 8,
+	}
+}
+
 // ProfileByName resolves the built-in profile names (light, heavy,
-// monitor) for command-line flags.
+// monitor, healthmon) for command-line flags.
 func ProfileByName(name string) (Profile, error) {
 	switch name {
 	case "light":
@@ -250,8 +272,10 @@ func ProfileByName(name string) (Profile, error) {
 		return HeavyProfile(), nil
 	case "monitor":
 		return MonitorProfile(), nil
+	case "healthmon":
+		return HealthMonProfile(), nil
 	default:
-		return Profile{}, fmt.Errorf("%w: unknown profile %q (light, heavy, monitor)", ErrBadPlan, name)
+		return Profile{}, fmt.Errorf("%w: unknown profile %q (light, heavy, monitor, healthmon)", ErrBadPlan, name)
 	}
 }
 
@@ -316,7 +340,7 @@ func RandomPlan(seed int64, pr Profile) *Plan {
 			if e.Severity = sev(0.1); e.Severity > 0.95 {
 				e.Severity = 0.95
 			}
-		case PacketLossBurst:
+		case PacketLossBurst, HealthProbeLoss:
 			e.Letter = letters[rng.Intn(len(letters))]
 			e.Site = rng.Intn(pr.MaxSite + 1)
 			e.Severity = sev(0.1)

@@ -297,3 +297,50 @@ func TestProfileByName(t *testing.T) {
 		t.Errorf("unknown profile: want ErrBadPlan, got %v", err)
 	}
 }
+
+func TestHealthProbeLossCompiled(t *testing.T) {
+	p := &Plan{Name: "probe-loss", Events: []Event{
+		{Kind: HealthProbeLoss, Start: 10, Duration: 20, Letter: 'K', Site: 1, Severity: 0.5, Seed: 42},
+	}}
+	c, err := Compile(p, Shape{Minutes: 60, Sites: map[byte]int{'K': 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outside the window or at the wrong site, nothing drops.
+	for a := uint64(0); a < 50; a++ {
+		if c.ProbeDropped('K', 1, 5, a) {
+			t.Fatalf("attempt %d dropped outside the window", a)
+		}
+		if c.ProbeDropped('K', 0, 15, a) {
+			t.Fatalf("attempt %d dropped at untargeted site", a)
+		}
+	}
+	// Inside the window roughly half the attempts drop, deterministically.
+	dropped := 0
+	for a := uint64(0); a < 1000; a++ {
+		d := c.ProbeDropped('K', 1, 15, a)
+		if d != c.ProbeDropped('K', 1, 15, a) {
+			t.Fatalf("attempt %d coin not stable", a)
+		}
+		if d {
+			dropped++
+		}
+	}
+	if dropped < 400 || dropped > 600 {
+		t.Fatalf("severity 0.5 dropped %d/1000 attempts", dropped)
+	}
+}
+
+func TestHealthMonProfileValidates(t *testing.T) {
+	pr, err := ProfileByName("healthmon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RandomPlan(7, pr)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := HealthProbeLoss.String(); got != "health-probe-loss" {
+		t.Fatalf("String() = %q", got)
+	}
+}

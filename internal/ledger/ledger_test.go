@@ -1,0 +1,228 @@
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var testFormat = Format{Magic: "TESTLGR0", Version: 1}
+
+func writeTestLedger(t *testing.T, payloads [][]byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.bin")
+	l, got, err := Open(path, testFormat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fresh ledger returned %d payloads", len(got))
+	}
+	for _, p := range payloads {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testPayloads() [][]byte {
+	return [][]byte{
+		[]byte(`{"a":1}`),
+		[]byte(`{"b":"two"}`),
+		[]byte(`{"c":[3,4,5]}`),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := testPayloads()
+	path := writeTestLedger(t, want)
+	_, got, err := openAndClose(t, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d payloads, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("payload %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	ro, err := Read(path, testFormat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro) != len(want) {
+		t.Fatalf("Read recovered %d payloads, want %d", len(ro), len(want))
+	}
+}
+
+func openAndClose(t *testing.T, path string, validate Validate) (*Ledger, [][]byte, error) {
+	t.Helper()
+	l, got, err := Open(path, testFormat, validate)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cerr := l.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	return l, got, nil
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	want := testPayloads()
+	path := writeTestLedger(t, want)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncated prefix recovers to a clean prefix of the payloads.
+	for cut := 1; cut <= 40 && cut <= len(full); cut++ {
+		if err := os.WriteFile(path, full[:len(full)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := openAndClose(t, path, nil)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) >= len(want) {
+			t.Fatalf("cut %d: torn tail not discarded (%d payloads)", cut, len(got))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("cut %d: payload %d diverges", cut, i)
+			}
+		}
+	}
+	// After recovery the file is appendable again at the truncation point.
+	if err := os.WriteFile(path, full[:len(full)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, got, err := Open(path, testFormat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want)-1 {
+		t.Fatalf("recovered %d payloads, want %d", len(got), len(want)-1)
+	}
+	if err := l.Append([]byte(`{"d":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err = openAndClose(t, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || !bytes.Equal(got[len(got)-1], []byte(`{"d":true}`)) {
+		t.Fatalf("append after truncation recovery failed: %q", got)
+	}
+}
+
+func TestCorruptionEndsPrefix(t *testing.T) {
+	want := testPayloads()
+	path := writeTestLedger(t, want)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := openAndClose(t, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(want) {
+		t.Fatalf("mid-file corruption not detected (%d payloads)", len(got))
+	}
+}
+
+func TestValidateEndsPrefix(t *testing.T) {
+	path := writeTestLedger(t, [][]byte{[]byte("good"), []byte("BAD"), []byte("good2")})
+	notBad := func(p []byte) bool { return !bytes.Equal(p, []byte("BAD")) }
+	_, got, err := openAndClose(t, path, notBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("good")) {
+		t.Fatalf("validator should end the prefix at the first rejected payload: %q", got)
+	}
+	// The rejected record (and everything after) was truncated away: a
+	// second open without the validator sees only the surviving prefix.
+	_, got, err = openAndClose(t, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("validator rejection should truncate: %q", got)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "notaledger.bin")
+	if err := os.WriteFile(bad, []byte("definitely not a ledger"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(bad, testFormat, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	future := filepath.Join(dir, "future.bin")
+	if err := os.WriteFile(future, append([]byte(testFormat.Magic), 99), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(future, testFormat, nil); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+}
+
+func TestEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.bin")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, got, err := Open(empty, testFormat, nil)
+	if err != nil {
+		t.Fatalf("empty file should recover as fresh: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file yielded %d payloads", len(got))
+	}
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Read(filepath.Join(dir, "nope.bin"), testFormat, nil)
+	if err != nil || got != nil {
+		t.Fatalf("missing file: got (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestAppendRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.bin")
+	l, _, err := Open(path, testFormat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := l.Append(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}

@@ -70,7 +70,10 @@ type Config struct {
 // panics are allowed only for internal/stats shape assertions.
 func DefaultConfig() Config {
 	return Config{
-		WallClockAllow: []string{"internal/dnsserver", "cmd/", "examples/"},
+		// internal/sitemgr drives live sockets too: its health loop runs on
+		// real tickers and socket deadlines, while its state machine stays
+		// tick-driven and clock-free (proved by the deterministic FSM tests).
+		WallClockAllow: []string{"internal/dnsserver", "internal/sitemgr", "cmd/", "examples/"},
 		PanicAllow:     []string{"internal/stats"},
 		// bgpsim holds the route Computer's reusable scratch buffers; a
 		// map-range there could write iteration order into pooled state
@@ -91,11 +94,13 @@ func DefaultConfig() Config {
 			"internal/core", "internal/bgpsim", "internal/netsim",
 			"internal/atlas", "internal/campaign",
 		},
-		// The crash-safety triangle: the atomic writer, the campaign
-		// ledger, and the checkpoint store. A swallowed Close/Sync error
-		// there is a durability claim silently broken.
+		// The crash-safety packages: the atomic writer, the shared ledger
+		// framing, the campaign runner, the checkpoint store, and the site
+		// manager's decision journal. A swallowed Close/Sync error there is
+		// a durability claim silently broken.
 		SyncCloseBan: []string{
-			"internal/atomicio", "internal/campaign", "internal/checkpoint",
+			"internal/atomicio", "internal/ledger", "internal/campaign",
+			"internal/checkpoint", "internal/sitemgr",
 		},
 		// Harness exit statuses are parsed by the campaign supervisor and
 		// CI scripts; they are part of the core.Exit* contract.

@@ -1,0 +1,236 @@
+package sitemgr
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// sigOK / sigProbeBad / sigServerBad / sigBothBad / sigDead are the five
+// evidence shapes the machine distinguishes.
+var (
+	sigOK        = Signals{Alive: true, ProbeOK: true}
+	sigProbeBad  = Signals{Alive: true, ProbeOK: false}
+	sigServerBad = Signals{Alive: true, ProbeOK: true, LossRate: 0.9}
+	sigBothBad   = Signals{Alive: true, ProbeOK: false, RRLRate: 0.9}
+	sigDead      = Signals{}
+)
+
+// trace runs a fresh FSM over a signal script and records every tick's
+// (state, action, penalty) as one JSON line — the byte-stable decision
+// trace the determinism test compares.
+func trace(cfg Config, script []Signals) string {
+	f := NewFSM(cfg)
+	out := ""
+	for i, sig := range script {
+		act := f.Tick(sig)
+		out += fmt.Sprintf(`{"tick":%d,"state":%q,"action":%q,"penalty":%.6f}`+"\n",
+			i, f.State(), act, f.Penalty())
+	}
+	return out
+}
+
+func TestFSMWithdrawRequiresCorroboration(t *testing.T) {
+	// Probe evidence alone — the HealthProbeLoss failure mode — must
+	// never withdraw: the site parks in Stressed.
+	f := NewFSM(Config{})
+	for i := 0; i < 100; i++ {
+		if act := f.Tick(sigProbeBad); act != ActNone {
+			t.Fatalf("tick %d: probe-only evidence produced %v", i, act)
+		}
+	}
+	if f.State() != Stressed {
+		t.Fatalf("probe-only evidence: state %v, want stressed", f.State())
+	}
+	// Server evidence alone holds too (a loss fault on the data path
+	// with probes still answering).
+	f = NewFSM(Config{})
+	for i := 0; i < 100; i++ {
+		if act := f.Tick(sigServerBad); act != ActNone {
+			t.Fatalf("tick %d: server-only evidence produced %v", i, act)
+		}
+	}
+	if f.State() != Stressed {
+		t.Fatalf("server-only evidence: state %v, want stressed", f.State())
+	}
+	// Corroborated evidence withdraws after StressTicks + FailTicks.
+	f = NewFSM(Config{StressTicks: 2, FailTicks: 3})
+	var got Action
+	ticks := 0
+	for got != ActWithdraw && ticks < 20 {
+		got = f.Tick(sigBothBad)
+		ticks++
+	}
+	if got != ActWithdraw || ticks != 5 {
+		t.Fatalf("corroborated evidence: %v after %d ticks, want withdraw after 5", got, ticks)
+	}
+	if f.State() != Draining {
+		t.Fatalf("state after withdraw: %v", f.State())
+	}
+}
+
+func TestFSMFullLifecycle(t *testing.T) {
+	cfg := Config{
+		StressTicks: 1, FailTicks: 2, RecoverTicks: 2, DrainTicks: 2,
+		ReprobeTicks: 2, ProbationTicks: 2, PenaltyHalfLife: 2,
+	}
+	f := NewFSM(cfg)
+	step := func(sig Signals, wantState State, wantAct Action) {
+		t.Helper()
+		act := f.Tick(sig)
+		if f.State() != wantState || act != wantAct {
+			t.Fatalf("got (%v, %v), want (%v, %v)", f.State(), act, wantState, wantAct)
+		}
+	}
+	step(sigBothBad, Stressed, ActNone) // StressTicks=1
+	step(sigBothBad, Stressed, ActNone) // failStreak 1
+	step(sigBothBad, Draining, ActWithdraw)
+	step(sigOK, Draining, ActNone)  // drainTicks 1
+	step(sigOK, Withdrawn, ActNone) // drain complete
+	// Penalty (1000 at withdraw, half-life 2) decays below the 1500
+	// suppression threshold immediately; two clean probe ticks re-announce.
+	step(sigOK, Withdrawn, ActNone) // probeStreak 1
+	step(sigOK, Probation, ActAnnounce)
+	step(sigOK, Probation, ActNone)
+	step(sigOK, Healthy, ActNone)
+}
+
+func TestFSMProbationFlapStacksPenalty(t *testing.T) {
+	cfg := Config{
+		StressTicks: 1, FailTicks: 1, DrainTicks: 1,
+		ReprobeTicks: 1, PenaltyHalfLife: 100, // slow decay: flaps stack
+	}
+	f := NewFSM(cfg)
+	f.Tick(sigBothBad)                     // Healthy -> Stressed
+	if f.Tick(sigBothBad) != ActWithdraw { // Stressed -> Draining
+		t.Fatal("first withdraw missing")
+	}
+	p1 := f.Penalty()
+	f.Tick(sigOK) // Draining -> Withdrawn
+	if f.Tick(sigOK) != ActAnnounce {
+		t.Fatal("re-announce missing")
+	}
+	// Flap in probation: immediate withdraw, penalty stacks above the
+	// 1500 suppression threshold.
+	if f.Tick(sigBothBad) != ActWithdraw {
+		t.Fatal("probation flap did not withdraw")
+	}
+	if f.Penalty() <= p1 {
+		t.Fatalf("penalty did not stack: %v then %v", p1, f.Penalty())
+	}
+	f.Tick(sigOK) // -> Withdrawn
+	// Suppressed: clean probes alone must not re-announce while the
+	// stacked penalty exceeds the threshold.
+	for i := 0; i < 20; i++ {
+		if act := f.Tick(sigOK); act == ActAnnounce {
+			if f.Penalty() > 1500 {
+				t.Fatalf("re-announced at tick %d with penalty %v > threshold", i, f.Penalty())
+			}
+			return
+		}
+	}
+	// With half-life 100, 20 ticks decay ~2041 -> ~1777: still suppressed.
+	if f.State() != Withdrawn {
+		t.Fatalf("state %v, want withdrawn under suppression", f.State())
+	}
+}
+
+func TestFSMCrashWithdrawsImmediately(t *testing.T) {
+	f := NewFSM(Config{})
+	if act := f.Tick(sigDead); act != ActWithdraw {
+		t.Fatalf("dead site: %v, want immediate withdraw", act)
+	}
+	if f.State() != Draining {
+		t.Fatalf("state %v", f.State())
+	}
+}
+
+func TestFSMAbsorbRollsBack(t *testing.T) {
+	f := NewFSM(Config{StressTicks: 1, FailTicks: 1})
+	f.Tick(sigBothBad)
+	if f.Tick(sigBothBad) != ActWithdraw {
+		t.Fatal("no withdraw")
+	}
+	f.Absorb()
+	if f.State() != Stressed {
+		t.Fatalf("state after absorb: %v", f.State())
+	}
+	if f.Penalty() != 0 {
+		t.Fatalf("penalty after absorb: %v, want the flap charge rolled back", f.Penalty())
+	}
+}
+
+func TestFSMDeterministicTrace(t *testing.T) {
+	cfg := Config{
+		StressTicks: 1, FailTicks: 2, RecoverTicks: 2, DrainTicks: 1,
+		ReprobeTicks: 2, ProbationTicks: 3, PenaltyHalfLife: 5,
+	}
+	// A script that walks every state: stress, withdraw, recover,
+	// flap, suppress, recover again.
+	var script []Signals
+	add := func(sig Signals, n int) {
+		for i := 0; i < n; i++ {
+			script = append(script, sig)
+		}
+	}
+	add(sigOK, 3)
+	add(sigBothBad, 5)
+	add(sigOK, 10)
+	add(sigBothBad, 4)
+	add(sigProbeBad, 5)
+	add(sigOK, 40)
+	add(sigDead, 2)
+	add(sigOK, 30)
+
+	first := trace(cfg, script)
+	for i := 0; i < 3; i++ {
+		if again := trace(cfg, script); again != first {
+			t.Fatalf("rerun %d: trace diverged\n--- first ---\n%s--- rerun ---\n%s", i, first, again)
+		}
+	}
+	// The trace is valid JSON lines mentioning every state.
+	seen := map[string]bool{}
+	for _, line := range splitLines(first) {
+		var rec struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		seen[rec.State] = true
+	}
+	for s := State(0); s < numStates; s++ {
+		if !seen[s.String()] {
+			t.Errorf("trace never visited %v", s)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func TestStateAndActionStrings(t *testing.T) {
+	if Healthy.String() != "healthy" || Probation.String() != "probation" {
+		t.Fatal("state names")
+	}
+	if State(200).String() != "State(200)" || Action(9).String() != "Action(9)" {
+		t.Fatal("fallback names")
+	}
+	if !Probation.Announced() || Withdrawn.Announced() || Draining.Announced() {
+		t.Fatal("Announced classification")
+	}
+	if stateByName("draining") != Draining || stateByName("bogus") != Withdrawn {
+		t.Fatal("stateByName")
+	}
+}

@@ -2,36 +2,9 @@
 
 package udpbatch
 
-import "net"
-
 const batched = false
 
-// osConn is the portable fallback: the netip read/write calls are already
-// allocation-free, they just move one datagram per syscall. ReadBatch
-// returns after the first datagram (a blocking peek-ahead for more would
-// trade latency for batching the platform cannot deliver anyway).
-type osConn struct{}
-
-func (c *osConn) init(*net.UDPConn, int) error { return nil }
-
-func (c *osConn) readBatch(conn *net.UDPConn, ms []Message) (int, error) {
-	if len(ms) == 0 {
-		return 0, nil
-	}
-	n, addr, err := conn.ReadFromUDPAddrPort(ms[0].Buf)
-	if err != nil {
-		return 0, err
-	}
-	ms[0].N = n
-	ms[0].Addr = addr
-	return 1, nil
-}
-
-func (c *osConn) writeBatch(conn *net.UDPConn, ms []Message) (int, error) {
-	for i := range ms {
-		if _, err := conn.WriteToUDPAddrPort(ms[i].Buf[:ms[i].N], ms[i].Addr); err != nil {
-			return i, err
-		}
-	}
-	return len(ms), nil
-}
+// osConn on platforms without recvmmsg/sendmmsg support is the portable
+// single-datagram implementation (see portable.go, which compiles — and is
+// tested — everywhere).
+type osConn = fallbackConn

@@ -1,0 +1,198 @@
+package udpbatch
+
+// The portable fallback (fallbackConn) is what every non-linux/amd64/arm64
+// platform runs, but CI is linux — so these tests drive fallbackConn
+// directly, on every platform, and check it is observationally equivalent
+// to whatever implementation Conn wired in.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestFallbackEmptyBatch(t *testing.T) {
+	serverConn, _ := newPair(t)
+	var fb fallbackConn
+	if err := fb.init(serverConn, 8); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fb.readBatch(serverConn, nil); n != 0 || err != nil {
+		t.Fatalf("readBatch(nil) = %d, %v", n, err)
+	}
+	if n, err := fb.writeBatch(serverConn, nil); n != 0 || err != nil {
+		t.Fatalf("writeBatch(nil) = %d, %v", n, err)
+	}
+}
+
+// TestFallbackOneDatagramPerCall pins the contract the server loop relies
+// on: with several datagrams queued and room for all of them, the fallback
+// still returns exactly one per call, each with its source address.
+func TestFallbackOneDatagramPerCall(t *testing.T) {
+	serverConn, clientConn := newPair(t)
+	var fb fallbackConn
+	const k = 4
+	for i := 0; i < k; i++ {
+		if _, err := clientConn.Write([]byte(fmt.Sprintf("ping-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serverConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	ms := newMessages(8, 512)
+	var got []string
+	for len(got) < k {
+		n, err := fb.readBatch(serverConn, ms)
+		if err != nil {
+			t.Fatalf("readBatch after %d: %v", len(got), err)
+		}
+		if n != 1 {
+			t.Fatalf("readBatch returned %d datagrams, want exactly 1", n)
+		}
+		if !ms[0].Addr.IsValid() {
+			t.Fatal("datagram has no source address")
+		}
+		got = append(got, string(ms[0].Buf[:ms[0].N]))
+	}
+	sort.Strings(got)
+	for i, s := range got {
+		if want := fmt.Sprintf("ping-%d", i); s != want {
+			t.Fatalf("payloads %v, want ping-0..ping-%d", got, k-1)
+		}
+	}
+}
+
+// TestFallbackDeadline checks the drain-path contract on the fallback: a
+// read deadline on the wrapped conn surfaces as a timeout net.Error.
+func TestFallbackDeadline(t *testing.T) {
+	serverConn, _ := newPair(t)
+	var fb fallbackConn
+	serverConn.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	n, err := fb.readBatch(serverConn, newMessages(4, 512))
+	if n != 0 || err == nil {
+		t.Fatalf("readBatch on idle socket = %d, %v", n, err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want timeout net.Error, got %T %v", err, err)
+	}
+	// A deadline already in the past must also fail writes mid-batch with
+	// the partial count.
+	serverConn.SetWriteDeadline(time.Unix(1, 0))
+	ms := newMessages(2, 64)
+	for i := range ms {
+		ms[i].N = copy(ms[i].Buf, "x")
+		ms[i].Addr = serverConn.LocalAddr().(*net.UDPAddr).AddrPort()
+	}
+	if sent, err := fb.writeBatch(serverConn, ms); err == nil || sent != 0 {
+		t.Fatalf("writeBatch past deadline = %d, %v", sent, err)
+	}
+}
+
+// TestFallbackEquivalence runs the same echo workload through the Conn
+// (batched where the platform supports it) and through fallbackConn and
+// requires identical observable results: same payload set, same sources,
+// zero steady-state allocations. On linux CI this is the cross-check that
+// keeps the portable path honest.
+func TestFallbackEquivalence(t *testing.T) {
+	type batchIO struct {
+		read  func([]Message) (int, error)
+		write func([]Message) (int, error)
+	}
+	run := func(t *testing.T, mk func(*net.UDPConn) batchIO) map[string]bool {
+		t.Helper()
+		serverConn, clientConn := newPair(t)
+		io := mk(serverConn)
+		const k = 6
+		for i := 0; i < k; i++ {
+			if _, err := clientConn.Write([]byte(fmt.Sprintf("echo-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		serverConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		ms := newMessages(8, 512)
+		got := 0
+		for got < k {
+			n, err := io.read(ms[:k-got])
+			if err != nil {
+				t.Fatalf("read after %d: %v", got, err)
+			}
+			if n < 1 {
+				t.Fatal("read returned 0 without error")
+			}
+			if sent, err := io.write(ms[:n]); err != nil || sent != n {
+				t.Fatalf("write: %d of %d, %v", sent, n, err)
+			}
+			got += n
+		}
+		buf := make([]byte, 512)
+		clientConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		echoed := make(map[string]bool)
+		for i := 0; i < k; i++ {
+			n, err := clientConn.Read(buf)
+			if err != nil {
+				t.Fatalf("echo read %d: %v", i, err)
+			}
+			echoed[string(buf[:n])] = true
+		}
+		return echoed
+	}
+
+	viaFallback := run(t, func(c *net.UDPConn) batchIO {
+		var fb fallbackConn
+		return batchIO{
+			read:  func(ms []Message) (int, error) { return fb.readBatch(c, ms) },
+			write: func(ms []Message) (int, error) { return fb.writeBatch(c, ms) },
+		}
+	})
+	viaPlatform := run(t, func(c *net.UDPConn) batchIO {
+		platform, err := New(c, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return batchIO{read: platform.ReadBatch, write: platform.WriteBatch}
+	})
+
+	if len(viaFallback) != len(viaPlatform) {
+		t.Fatalf("fallback echoed %v, platform echoed %v", viaFallback, viaPlatform)
+	}
+	for s := range viaFallback {
+		if !viaPlatform[s] {
+			t.Fatalf("payload %q echoed by fallback but not the platform path", s)
+		}
+	}
+}
+
+// TestFallbackSteadyStateAllocs holds the portable path to the same
+// zero-allocation bar the batched path meets.
+func TestFallbackSteadyStateAllocs(t *testing.T) {
+	serverConn, _ := newPair(t)
+	// The portable writeBatch uses WriteToUDPAddrPort, which the stdlib
+	// rejects on connected sockets — send from an unconnected one, as the
+	// prober does.
+	sender, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	var fb fallbackConn
+	dst := serverConn.LocalAddr().(*net.UDPAddr).AddrPort()
+	out := newMessages(1, 64)
+	out[0].N = copy(out[0].Buf, "ping")
+	out[0].Addr = dst
+	in := newMessages(4, 512)
+	serverConn.SetReadDeadline(time.Now().Add(10 * time.Second))
+
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := fb.writeBatch(sender, out); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fb.readBatch(serverConn, in); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("fallback round trip allocates %.1f allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,39 @@
+package udpbatch
+
+import "net"
+
+// fallbackConn is the portable implementation: the netip read/write calls
+// are already allocation-free, they just move one datagram per syscall.
+// readBatch returns after the first datagram (a blocking peek-ahead for
+// more would trade latency for batching the platform cannot deliver
+// anyway).
+//
+// It compiles on every platform — on batched platforms it is not wired
+// into Conn, but the tests exercise it against the batched path to prove
+// the two implementations are observationally equivalent, so the platforms
+// that do fall back are covered by every CI run.
+type fallbackConn struct{}
+
+func (c *fallbackConn) init(*net.UDPConn, int) error { return nil }
+
+func (c *fallbackConn) readBatch(conn *net.UDPConn, ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	n, addr, err := conn.ReadFromUDPAddrPort(ms[0].Buf)
+	if err != nil {
+		return 0, err
+	}
+	ms[0].N = n
+	ms[0].Addr = addr
+	return 1, nil
+}
+
+func (c *fallbackConn) writeBatch(conn *net.UDPConn, ms []Message) (int, error) {
+	for i := range ms {
+		if _, err := conn.WriteToUDPAddrPort(ms[i].Buf[:ms[i].N], ms[i].Addr); err != nil {
+			return i, err
+		}
+	}
+	return len(ms), nil
+}
